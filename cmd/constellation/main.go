@@ -1,0 +1,94 @@
+// Command constellation is the STK substitute of the paper's workflow: it
+// builds the Table II Walker-Delta catalog (or a custom Walker
+// configuration), propagates it, and exports per-satellite movement sheets
+// as CSV for the simulator to replay.
+//
+// Usage:
+//
+//	constellation -n 108 -duration 24h -interval 30s -out sheets.csv
+//	constellation -list                 # print the Table II catalog
+//	constellation -walker 36/6/1        # custom Walker t/p/f instead of Table II
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"qntn/internal/geo"
+	"qntn/internal/orbit"
+	"qntn/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "constellation:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("constellation", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n := fs.Int("n", orbit.MaxPaperSatellites, "number of Table II satellites (multiple of 6, ≤108)")
+	duration := fs.Duration("duration", orbit.Day, "propagation span")
+	interval := fs.Duration("interval", orbit.DefaultSampleInterval, "sample interval")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	list := fs.Bool("list", false, "print the orbital catalog instead of propagating")
+	walker := fs.String("walker", "", "custom Walker t/p/f (e.g. 36/6/1) instead of Table II")
+	altKM := fs.Float64("alt", 500, "altitude in km for -walker")
+	incl := fs.Float64("incl", 53, "inclination in degrees for -walker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var elems []orbit.Elements
+	var err error
+	if *walker != "" {
+		var t, p, f int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*walker, "/", " "), "%d %d %d", &t, &p, &f); err != nil {
+			return fmt.Errorf("bad -walker %q (want t/p/f): %w", *walker, err)
+		}
+		elems, err = orbit.WalkerDelta(t, p, f, *incl, *altKM*1000)
+	} else {
+		elems, err = orbit.PaperConstellation(*n)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintf(w, "%-8s %-10s %-12s %-10s %-8s\n", "sat", "RAAN(deg)", "anomaly(deg)", "alt(km)", "period")
+		for i, e := range elems {
+			fmt.Fprintf(w, "SAT-%03d  %-10.1f %-12.1f %-10.1f %v\n",
+				i+1, geo.Deg(e.RAANRad), geo.Deg(e.TrueAnomalyRad),
+				(e.SemiMajorAxisM-geo.EarthRadiusM)/1000, e.Period().Truncate(time.Second))
+		}
+		return nil
+	}
+
+	sheets, err := orbit.GenerateSheets(elems, *duration, *interval)
+	if err != nil {
+		return err
+	}
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.Write(dst, sheets); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(w, "wrote %d sheets (%d samples each) to %s\n",
+			len(sheets), len(sheets[0].Samples), *out)
+	}
+	return nil
+}

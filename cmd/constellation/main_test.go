@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qntn/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list", "-n", "12"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SAT-001") || !strings.Contains(out, "SAT-012") {
+		t.Fatalf("list output:\n%s", out)
+	}
+	if strings.Contains(out, "SAT-013") {
+		t.Fatal("list printed more satellites than requested")
+	}
+}
+
+func TestRunExportsSheets(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sheets.csv")
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-duration", "10m", "-interval", "30s", "-out", out}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrote 6 sheets") {
+		t.Fatalf("status output:\n%s", b.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sheets, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sheets) != 6 || len(sheets[0].Samples) != 21 {
+		t.Fatalf("exported %d sheets, %d samples", len(sheets), len(sheets[0].Samples))
+	}
+}
+
+func TestRunStdoutCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-duration", "1m", "-interval", "30s"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "name,t_seconds") {
+		t.Fatalf("stdout csv missing header:\n%.80s", b.String())
+	}
+}
+
+func TestRunCustomWalker(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-walker", "12/3/1", "-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "SAT-012") {
+		t.Fatalf("walker list output:\n%s", b.String())
+	}
+	if err := run([]string{"-walker", "nonsense"}, &b); err == nil {
+		t.Fatal("bad walker spec accepted")
+	}
+	if err := run([]string{"-walker", "13/3/1"}, &b); err == nil {
+		t.Fatal("indivisible walker accepted")
+	}
+}
+
+func TestRunRejectsBadCount(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "7"}, &b); err == nil {
+		t.Fatal("n=7 accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os"
+	"time"
+
+	"qntn/internal/orbit"
+	"qntn/internal/trace"
+)
+
+// writeTestSheets exports 30 minutes of movement sheets for the first six
+// Table II satellites.
+func writeTestSheets(path string) error {
+	elems, err := orbit.PaperConstellation(6)
+	if err != nil {
+		return err
+	}
+	sheets, err := orbit.GenerateSheets(elems, 30*time.Minute, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Write(f, sheets)
+}

@@ -1,0 +1,146 @@
+// Command coverage analyzes the regional coverage of a QNTN architecture:
+// either the air-ground HAP, or a space-ground constellation defined by a
+// satellite count or a movement-sheet CSV produced by cmd/constellation.
+//
+// Usage:
+//
+//	coverage -arch air
+//	coverage -arch space -n 108 -duration 24h
+//	coverage -arch space -sheets sheets.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"qntn/internal/orbit"
+	"qntn/internal/qntn"
+	"qntn/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	fs.SetOutput(w)
+	arch := fs.String("arch", "space", `architecture: "space", "air", or "hybrid"`)
+	n := fs.Int("n", orbit.MaxPaperSatellites, "satellite count for -arch space/hybrid")
+	sheetsPath := fs.String("sheets", "", "movement-sheet CSV (overrides -n propagation)")
+	duration := fs.Duration("duration", orbit.Day, "analysis span")
+	showIntervals := fs.Bool("intervals", false, "list each connected interval")
+	showPairs := fs.Bool("pairs", false, "break coverage down per LAN pair and report link churn")
+	showTimeline := fs.Bool("timeline", false, "print an hour-by-hour coverage strip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := qntn.DefaultParams()
+	var sc *qntn.Scenario
+	var err error
+	switch *arch {
+	case "air":
+		sc, err = qntn.NewAirGround(p)
+	case "hybrid":
+		sc, err = qntn.NewHybrid(*n, p)
+	case "space":
+		if *sheetsPath != "" {
+			f, ferr := os.Open(*sheetsPath)
+			if ferr != nil {
+				return ferr
+			}
+			sheets, rerr := trace.Read(f)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+			sc, err = qntn.NewSpaceGroundFromSheets(sheets, p)
+		} else {
+			sc, err = qntn.NewSpaceGround(*n, p)
+		}
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := sc.Coverage(*duration)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "architecture:   %s\n", sc.Arch)
+	fmt.Fprintf(w, "relays:         %d\n", len(sc.RelayIDs))
+	fmt.Fprintf(w, "span:           %v (%d steps of %v)\n", *duration, res.Steps, sc.Params.StepInterval)
+	fmt.Fprintf(w, "covered:        %v across %d intervals\n", res.Covered, len(res.Intervals))
+	fmt.Fprintf(w, "coverage:       %.2f%%\n", res.Percent())
+	if *showIntervals {
+		for i, iv := range res.Intervals {
+			fmt.Fprintf(w, "  interval %3d: %v — %v (%v)\n", i+1, iv.Start, iv.End, iv.Duration())
+		}
+	}
+	if *showPairs {
+		detail, err := sc.DetailedCoverage(*duration)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "per-pair coverage:")
+		for _, p := range detail.Pairs {
+			fmt.Fprintf(w, "  %4s ↔ %-4s %7.2f%% (%d intervals)\n",
+				p.NetworkA, p.NetworkB, p.Result.Percent(), len(p.Result.Intervals))
+		}
+		fmt.Fprintf(w, "link transitions: %d\n", detail.LinkTransitions)
+	}
+	if *showTimeline {
+		printTimeline(w, res, *duration)
+	}
+	return nil
+}
+
+// printTimeline renders the coverage intervals as a strip of 72 buckets
+// ('█' fully covered, '▒' partially, '·' uncovered), one line per strip,
+// with hour marks.
+func printTimeline(w io.Writer, res *qntn.CoverageResult, duration time.Duration) {
+	const buckets = 72
+	bucket := duration / buckets
+	if bucket <= 0 {
+		return
+	}
+	covered := make([]time.Duration, buckets)
+	for _, iv := range res.Intervals {
+		for b := 0; b < buckets; b++ {
+			lo := time.Duration(b) * bucket
+			hi := lo + bucket
+			s, e := iv.Start, iv.End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				covered[b] += e - s
+			}
+		}
+	}
+	fmt.Fprintf(w, "timeline (each cell %v):\n  ", bucket.Truncate(time.Second))
+	for b := 0; b < buckets; b++ {
+		frac := float64(covered[b]) / float64(bucket)
+		switch {
+		case frac >= 0.999:
+			fmt.Fprint(w, "█")
+		case frac > 0:
+			fmt.Fprint(w, "▒")
+		default:
+			fmt.Fprint(w, "·")
+		}
+	}
+	fmt.Fprintf(w, "\n  0%*s%v\n", 71, "", duration)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAir(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-arch", "air", "-duration", "30m"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "air-ground") || !strings.Contains(out, "100.00%") {
+		t.Fatalf("air coverage output:\n%s", out)
+	}
+}
+
+func TestRunSpace(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-arch", "space", "-n", "108", "-duration", "1h", "-intervals"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "space-ground") || !strings.Contains(out, "interval") {
+		t.Fatalf("space coverage output:\n%s", out)
+	}
+}
+
+func TestRunHybrid(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-arch", "hybrid", "-n", "6", "-duration", "30m"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hybrid") {
+		t.Fatalf("hybrid output:\n%s", b.String())
+	}
+}
+
+func TestRunFromSheets(t *testing.T) {
+	// Generate sheets with the constellation tool's library path, then
+	// replay them.
+	dir := t.TempDir()
+	sheetPath := filepath.Join(dir, "s.csv")
+	if err := writeTestSheets(sheetPath); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-arch", "space", "-sheets", sheetPath, "-duration", "30m"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "relays:         6") {
+		t.Fatalf("sheet replay output:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsBadArch(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-arch", "submarine"}, &b); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if err := run([]string{"-arch", "space", "-sheets", "/nonexistent.csv"}, &b); err == nil {
+		t.Fatal("missing sheet file accepted")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-arch", "space", "-n", "108", "-duration", "2h", "-timeline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "timeline") {
+		t.Fatalf("timeline missing:\n%s", out)
+	}
+	// A 2h space window has both covered and uncovered cells.
+	if !strings.Contains(out, "█") && !strings.Contains(out, "▒") {
+		t.Fatal("no covered cells rendered")
+	}
+	if !strings.Contains(out, "·") {
+		t.Fatal("no uncovered cells rendered")
+	}
+}

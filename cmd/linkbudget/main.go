@@ -1,0 +1,97 @@
+// Command linkbudget prints the FSO link-budget breakdown (diffraction,
+// atmospheric, receiver factors and the resulting transmissivity/fidelity)
+// for the calibrated satellite and HAP channels — the tool used to derive
+// the calibration documented in DESIGN.md.
+//
+// Usage:
+//
+//	linkbudget            # satellite elevation sweep + HAP city links
+//	linkbudget -turbulence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"qntn/internal/atmosphere"
+	"qntn/internal/channel"
+	"qntn/internal/geo"
+	"qntn/internal/qntn"
+	"qntn/internal/quantum"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linkbudget:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("linkbudget", flag.ContinueOnError)
+	fs.SetOutput(w)
+	withTurb := fs.Bool("turbulence", false, "include nominal HV5/7 turbulence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := qntn.DefaultParams()
+	if *withTurb {
+		hv := atmosphere.HV57()
+		p.Turbulence = &hv
+	}
+	sat := p.SpaceDownlinkFSO()
+	hap := p.HAPDownlinkFSO()
+
+	fmt.Fprintf(w, "parameters: λ=%.0f nm, space waist %.3f m, HAP waist %.3f m, τ_zenith=%.3f, η_eff=%.3f, threshold=%.2f, mask=%.0f°\n\n",
+		p.WavelengthM*1e9, p.SpaceBeamWaistM, p.HAPBeamWaistM,
+		p.ZenithOpticalDepth, p.ReceiverEfficiency,
+		p.TransmissivityThreshold, geo.Deg(p.MinElevationRad))
+
+	fmt.Fprintln(w, "satellite downlink (500 km altitude), per elevation:")
+	fmt.Fprintf(w, "%6s %10s %8s %8s %8s %8s %8s\n", "elev", "slant km", "diff", "atm", "eta", "usable", "F(2 legs)")
+	re := geo.EarthRadiusM
+	h := p.SatelliteAltitudeM
+	for _, deg := range []float64{10, 15, 20, 25, 30, 40, 50, 60, 75, 90} {
+		e := geo.Rad(deg)
+		slant := math.Sqrt((re+h)*(re+h)-re*re*math.Cos(e)*math.Cos(e)) - re*math.Sin(e)
+		b := sat.Breakdown(channel.FSOGeometry{RangeM: slant, ElevationRad: e, LoAltM: 0, HiAltM: h})
+		eta := b.Total()
+		usable := eta >= p.TransmissivityThreshold && e >= p.MinElevationRad
+		f := quantum.AnalyticBellFidelityBothArms(eta, eta)
+		fmt.Fprintf(w, "%5.0f° %10.1f %8.4f %8.4f %8.4f %8v %8.4f\n",
+			deg, slant/1000, b.Diffraction, b.Atmospheric, eta, usable, f)
+	}
+
+	fmt.Fprintln(w, "\nHAP downlink (30 km altitude) to each local network:")
+	fmt.Fprintf(w, "%6s %8s %10s %8s %8s %8s\n", "LAN", "elev", "slant km", "diff", "atm", "eta")
+	hapPos := geo.LLA{LatDeg: p.HAPLatDeg, LonDeg: p.HAPLonDeg, AltM: p.HAPAltM}
+	for _, lan := range qntn.GroundNetworks() {
+		la := geo.Look(lan.Centroid(), hapPos.ECEF())
+		b := hap.Breakdown(channel.FSOGeometry{
+			RangeM:       la.SlantRangeM,
+			ElevationRad: la.ElevationRad,
+			LoAltM:       0,
+			HiAltM:       p.HAPAltM,
+		})
+		fmt.Fprintf(w, "%6s %7.1f° %10.1f %8.4f %8.4f %8.4f\n",
+			lan.Name, geo.Deg(la.ElevationRad), la.SlantRangeM/1000, b.Diffraction, b.Atmospheric, b.Total())
+	}
+
+	fmt.Fprintln(w, "\nHAP end-to-end (platform source, one downlink per arm):")
+	nets := qntn.GroundNetworks()
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			la1 := geo.Look(nets[i].Centroid(), hapPos.ECEF())
+			la2 := geo.Look(nets[j].Centroid(), hapPos.ECEF())
+			eta1 := hap.Transmissivity(channel.FSOGeometry{RangeM: la1.SlantRangeM, ElevationRad: la1.ElevationRad, HiAltM: p.HAPAltM})
+			eta2 := hap.Transmissivity(channel.FSOGeometry{RangeM: la2.SlantRangeM, ElevationRad: la2.ElevationRad, HiAltM: p.HAPAltM})
+			f := quantum.AnalyticBellFidelityBothArms(eta1, eta2)
+			fmt.Fprintf(w, "  %s ↔ %s: fidelity %.4f\n", nets[i].Name, nets[j].Name, f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunClear(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"satellite downlink", "HAP downlink", "TTU", "EPB", "ORNL", "fidelity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("linkbudget output missing %q:\n%s", want, out)
+		}
+	}
+	// The calibrated budget must show usable links above ~25° and the
+	// threshold binding below.
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatal("expected both usable and unusable elevations in the table")
+	}
+}
+
+func TestRunTurbulent(t *testing.T) {
+	var clear, turb strings.Builder
+	if err := run(nil, &clear); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-turbulence"}, &turb); err != nil {
+		t.Fatal(err)
+	}
+	if clear.String() == turb.String() {
+		t.Fatal("turbulence flag had no effect")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nope"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,602 @@
+// Command qntnsim reproduces the paper's evaluation: each subcommand
+// regenerates one table or figure (or runs the ablation studies), printing
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	qntnsim fig5                 # transmissivity vs entanglement fidelity
+//	qntnsim fig6  [-duration 24h]
+//	qntnsim fig7  [-steps 100 -requests 100]
+//	qntnsim fig8  [-steps 100 -requests 100]
+//	qntnsim table3
+//	qntnsim ablations            # routing metric, convention, masks,
+//	                             # placement, turbulence, orbit design
+//	qntnsim latency|purify|qkd|night|statewide|outage|multipath|
+//	        throughput|arrivals  # extension studies (see DESIGN.md)
+//	qntnsim params               # dump the default parameter file
+//	qntnsim all
+//
+// Global flags (before the subcommand): -seed, -steps, -requests,
+// -duration, -quick, -csvdir <dir>, -params <file>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"qntn/internal/experiments"
+	"qntn/internal/orbit"
+	"qntn/internal/qkd"
+	"qntn/internal/qntn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qntnsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	seed       int64
+	steps      int
+	requests   int
+	duration   time.Duration
+	quick      bool
+	csvDir     string
+	paramsPath string
+}
+
+// writeCSV writes one experiment's CSV file into the -csvdir directory (a
+// no-op when the flag is unset).
+func (o options) writeCSV(name string, fn func(io.Writer) error) error {
+	if o.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(o.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("qntnsim", flag.ContinueOnError)
+	fs.SetOutput(w)
+	opt := options{}
+	fs.Int64Var(&opt.seed, "seed", 1, "workload random seed")
+	fs.IntVar(&opt.steps, "steps", 100, "satellite-movement steps per serve experiment")
+	fs.IntVar(&opt.requests, "requests", 100, "requests per step")
+	fs.DurationVar(&opt.duration, "duration", orbit.Day, "coverage horizon")
+	fs.BoolVar(&opt.quick, "quick", false, "scale workloads down for a fast smoke run")
+	fs.StringVar(&opt.csvDir, "csvdir", "", "also write machine-readable CSVs into this directory")
+	fs.StringVar(&opt.paramsPath, "params", "", "load simulation parameters from a JSON file (see the `params` subcommand)")
+	fs.Usage = func() {
+		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|multipath|throughput|arrivals|params|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	if opt.quick {
+		opt.steps = 10
+		opt.requests = 20
+		if opt.duration > 2*time.Hour {
+			opt.duration = 2 * time.Hour
+		}
+	}
+
+	cmd := fs.Arg(0)
+	params := qntn.DefaultParams()
+	if opt.paramsPath != "" {
+		f, err := os.Open(opt.paramsPath)
+		if err != nil {
+			return err
+		}
+		params, err = qntn.LoadParams(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	serveCfg := qntn.ServeConfig{
+		RequestsPerStep: opt.requests,
+		Steps:           opt.steps,
+		Horizon:         orbit.Day,
+		Seed:            opt.seed,
+	}
+
+	switch cmd {
+	case "fig5":
+		return runFig5(w, opt)
+	case "fig6":
+		return runFig6(w, params, opt.duration, opt)
+	case "fig7", "fig8":
+		return runFig78(w, params, serveCfg, cmd, opt)
+	case "table3":
+		return runTable3(w, params, serveCfg, opt.duration, opt)
+	case "ablations":
+		return runAblations(w, params, serveCfg, opt.duration)
+	case "latency":
+		return runLatency(w, params, serveCfg, opt)
+	case "purify":
+		return runPurify(w, opt)
+	case "qkd":
+		return runQKD(w, params, opt)
+	case "night":
+		return runNight(w, params, serveCfg, opt.duration, opt)
+	case "params":
+		return qntn.SaveParams(w, params)
+	case "statewide":
+		return runStatewide(w, params, serveCfg, opt.duration)
+	case "outage":
+		return runOutage(w, params, serveCfg, opt.duration)
+	case "multipath":
+		return runMultipath(w, params, serveCfg)
+	case "throughput":
+		return runThroughput(w, params, serveCfg)
+	case "arrivals":
+		return runArrivals(w, params, opt.duration, opt.seed)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return runFig5(w, opt) },
+			func() error { return runFig6(w, params, opt.duration, opt) },
+			func() error { return runFig78(w, params, serveCfg, "fig7", opt) },
+			func() error { return runFig78(w, params, serveCfg, "fig8", opt) },
+			func() error { return runTable3(w, params, serveCfg, opt.duration, opt) },
+			func() error { return runAblations(w, params, serveCfg, opt.duration) },
+			func() error { return runLatency(w, params, serveCfg, opt) },
+			func() error { return runPurify(w, opt) },
+			func() error { return runQKD(w, params, opt) },
+			func() error { return runNight(w, params, serveCfg, opt.duration, opt) },
+			func() error { return runStatewide(w, params, serveCfg, opt.duration) },
+			func() error { return runOutage(w, params, serveCfg, opt.duration) },
+			func() error { return runMultipath(w, params, serveCfg) },
+			func() error { return runThroughput(w, params, serveCfg) },
+			func() error { return runArrivals(w, params, opt.duration, opt.seed) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func runFig5(w io.Writer, opt options) error {
+	points, err := experiments.Fig5(0.01)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("fig5.csv", func(f io.Writer) error { return experiments.Fig5CSV(f, points) }); err != nil {
+		return err
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i], ys[i] = p.Eta, p.FidelityRoot
+	}
+	if err := experiments.RenderSeries(w, "Fig. 5 — transmissivity vs entanglement fidelity",
+		"transmissivity", "fidelity", xs, ys); err != nil {
+		return err
+	}
+	eta, err := experiments.Fig5Threshold(points, 0.9)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "first transmissivity with fidelity ≥ 0.90: %.2f (paper adopts the conservative 0.70)\n", eta)
+	return nil
+}
+
+func runFig6(w io.Writer, p qntn.Params, duration time.Duration, opt options) error {
+	points, err := experiments.Fig6(p, duration)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("fig6.csv", func(f io.Writer) error { return experiments.Fig6CSV(f, points) }); err != nil {
+		return err
+	}
+	rows := make([][]string, len(points))
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, pt := range points {
+		rows[i] = []string{
+			strconv.Itoa(pt.Satellites),
+			experiments.FormatPercent(pt.Result.Percent()),
+			pt.Result.Covered.Truncate(time.Second).String(),
+			strconv.Itoa(len(pt.Result.Intervals)),
+		}
+		xs[i], ys[i] = float64(pt.Satellites), pt.Result.Percent()
+	}
+	title := fmt.Sprintf("Fig. 6 — coverage of the space-ground network over %v", duration)
+	if err := experiments.RenderTable(w, title,
+		[]string{"satellites", "coverage", "covered time", "intervals"}, rows); err != nil {
+		return err
+	}
+	return experiments.RenderSeries(w, "", "satellites", "coverage %", xs, ys)
+}
+
+func runFig78(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, which string, opt options) error {
+	points, err := experiments.Fig7And8(p, cfg)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV(which+".csv", func(f io.Writer) error { return experiments.Fig78CSV(f, points) }); err != nil {
+		return err
+	}
+	rows := make([][]string, len(points))
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, pt := range points {
+		rows[i] = []string{
+			strconv.Itoa(pt.Satellites),
+			experiments.FormatPercent(pt.Result.ServedPercent),
+			fmt.Sprintf("%.4f", pt.Result.MeanFidelity),
+		}
+		xs[i] = float64(pt.Satellites)
+		if which == "fig7" {
+			ys[i] = pt.Result.ServedPercent
+		} else {
+			ys[i] = pt.Result.MeanFidelity
+		}
+	}
+	title := "Fig. 7 — served entanglement distribution requests"
+	yLabel := "served %"
+	if which == "fig8" {
+		title = "Fig. 8 — average entanglement fidelity of resolved requests"
+		yLabel = "fidelity"
+	}
+	if err := experiments.RenderTable(w, title,
+		[]string{"satellites", "served", "mean fidelity"}, rows); err != nil {
+		return err
+	}
+	return experiments.RenderSeries(w, "", "satellites", yLabel, xs, ys)
+}
+
+func runTable3(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration, opt options) error {
+	rows, err := experiments.Table3(p, cfg, duration)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("table3.csv", func(f io.Writer) error { return experiments.Table3CSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			experiments.FormatPercent(r.CoveragePercent),
+			experiments.FormatPercent(r.ServedPercent),
+			experiments.FormatFidelity(r.MeanFidelity),
+		}
+	}
+	return experiments.RenderTable(w, "Table III — architecture comparison",
+		[]string{"architecture", "P (coverage)", "serving requests", "entanglement fidelity"}, cells)
+}
+
+func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration) error {
+	const nSats = orbit.MaxPaperSatellites
+
+	routing, err := experiments.AblationRoutingMetric(p, nSats, cfg)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, len(routing))
+	for i, r := range routing {
+		rows[i] = []string{r.Metric, experiments.FormatPercent(r.ServedPercent),
+			fmt.Sprintf("%.4f", r.MeanFidelity), fmt.Sprintf("%.4f", r.MeanPathEta), fmt.Sprintf("%.2f", r.MeanHops)}
+	}
+	if err := experiments.RenderTable(w, "Ablation — routing cost metric (hybrid: HAP + 108 satellites)",
+		[]string{"metric", "served", "fidelity", "path eta", "hops"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	conv, err := experiments.AblationFidelityConvention(p, nSats, cfg)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range conv {
+		rows = append(rows, []string{r.Architecture, fmt.Sprintf("%.4f", r.MeanRoot), fmt.Sprintf("%.4f", r.MeanSquared)})
+	}
+	if err := experiments.RenderTable(w, "Ablation — fidelity convention (root vs literal Eq. 5)",
+		[]string{"architecture", "root", "squared"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	masks, err := experiments.AblationElevationMask(p, nSats, duration, []float64{10, 15, 20, 25, 30})
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range masks {
+		rows = append(rows, []string{fmt.Sprintf("%.0f°", r.MaskDeg), experiments.FormatPercent(r.CoveragePercent)})
+	}
+	if err := experiments.RenderTable(w, fmt.Sprintf("Ablation — elevation mask (108 satellites, %v)", duration),
+		[]string{"mask", "coverage"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	placement, err := experiments.AblationSourcePlacement(p, nSats, cfg)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range placement {
+		rows = append(rows, []string{r.Architecture, r.Model.String(), fmt.Sprintf("%.4f", r.MeanFidelity)})
+	}
+	if err := experiments.RenderTable(w, "Ablation — entanglement source placement",
+		[]string{"architecture", "model", "fidelity"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	turb, err := experiments.AblationTurbulence(p, nSats, cfg, []float64{0, 0.05, 0.1, 0.25, 0.5, 1})
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range turb {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2fx", r.Scale),
+			experiments.FormatPercent(r.SpaceServedPercent), fmt.Sprintf("%.4f", r.SpaceMeanFidelity),
+			experiments.FormatPercent(r.AirServedPercent), fmt.Sprintf("%.4f", r.AirMeanFidelity),
+		})
+	}
+	if err := experiments.RenderTable(w, "Ablation — turbulence strength (HV5/7 scale)",
+		[]string{"turbulence", "space served", "space fidelity", "air served", "air fidelity"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	design, err := experiments.AblationOrbitDesign(p, nSats, duration,
+		[]float64{400, 500, 700, 1000}, []float64{40, 53, 70})
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range design {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f km", r.AltitudeKM),
+			fmt.Sprintf("%.0f°", r.InclinationDeg),
+			experiments.FormatPercent(r.CoveragePercent),
+		})
+	}
+	return experiments.RenderTable(w, fmt.Sprintf("Ablation — constellation design (108 satellites, %v)", duration),
+		[]string{"altitude", "inclination", "coverage"}, rows)
+}
+
+func runLatency(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, opt options) error {
+	t2s := []time.Duration{0, 100 * time.Millisecond, 10 * time.Millisecond, time.Millisecond}
+	rows, err := experiments.ExtensionLatencyStudy(p, orbit.MaxPaperSatellites, cfg, t2s)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("latency.csv", func(f io.Writer) error { return experiments.LatencyCSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		t2 := "ideal"
+		if r.MemoryT2 > 0 {
+			t2 = r.MemoryT2.String()
+		}
+		cells[i] = []string{
+			r.Architecture, t2,
+			experiments.FormatPercent(r.ServedPercent),
+			fmt.Sprintf("%.4f", r.MeanFidelity),
+			r.MeanLatency.Truncate(time.Microsecond).String(),
+			r.MaxLatency.Truncate(time.Microsecond).String(),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — heralding latency and memory dephasing (DES serving)",
+		[]string{"architecture", "memory T2", "served", "fidelity", "mean latency", "max latency"}, cells)
+}
+
+func runPurify(w io.Writer, opt options) error {
+	// Representative end-to-end transmissivities: the space-ground floor
+	// (two threshold links, 0.49), the measured space average (~0.72),
+	// and the air-ground value (~0.92).
+	rows, err := experiments.ExtensionPurificationStudy([]float64{0.49, 0.72, 0.92}, 3)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("purify.csv", func(f io.Writer) error { return experiments.PurificationCSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%.2f", r.LinkEta),
+			strconv.Itoa(r.Round),
+			fmt.Sprintf("%.4f", r.Fidelity),
+			fmt.Sprintf("%.3f", r.SuccessProbability),
+			fmt.Sprintf("%.2f", r.ExpectedPairsConsumed),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — BBPSSW purification of distributed pairs",
+		[]string{"path eta", "round", "fidelity", "p(success)", "raw pairs needed"}, cells)
+}
+
+func runQKD(w io.Writer, p qntn.Params, opt options) error {
+	rows, err := experiments.ExtensionQKDStudy(p, qkd.DefaultDetector())
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("qkd.csv", func(f io.Writer) error { return experiments.QKDCSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Label,
+			fmt.Sprintf("%.3f/%.3f", r.Eta1, r.Eta2),
+			formatRate(r.BBM92KeyRateHz),
+			formatRate(r.TrustedBB84KeyRateHz),
+			fmt.Sprintf("%.2f%%", 100*r.QBER),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — QKD key rates (100 MHz source)",
+		[]string{"geometry", "downlink etas", "BBM92 (untrusted)", "BB84 (trusted relay)", "QBER"}, cells)
+}
+
+// formatRate renders a key rate in bit/s with k/M scaling.
+func formatRate(hz float64) string { return formatPerSecond(hz, "bit/s") }
+
+// formatPairRate renders a delivered-pair rate in pairs/s.
+func formatPairRate(hz float64) string { return formatPerSecond(hz, "pairs/s") }
+
+func formatPerSecond(hz float64, unit string) string {
+	switch {
+	case hz >= 1e6:
+		return fmt.Sprintf("%.2f M%s", hz/1e6, unit)
+	case hz >= 1e3:
+		return fmt.Sprintf("%.2f k%s", hz/1e3, unit)
+	default:
+		return fmt.Sprintf("%.1f %s", hz, unit)
+	}
+}
+
+func runNight(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration, opt options) error {
+	rows, err := experiments.ExtensionNightStudy(p, orbit.MaxPaperSatellites, cfg, duration)
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		policy := "ideal (any time)"
+		if r.NightOnly {
+			policy = "night only"
+		}
+		cells[i] = []string{
+			r.Architecture, policy,
+			experiments.FormatPercent(r.CoveragePercent),
+			experiments.FormatPercent(r.ServedPercent),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — daylight-background constraint (equinox sun, civil twilight)",
+		[]string{"architecture", "operation", "coverage", "served"}, cells)
+}
+
+func runStatewide(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration) error {
+	positions, connected, total, err := experiments.StatewidePlacement(p, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "greedy HAP placement over the six-LAN region (%d/%d pairs reachable):\n", connected, total)
+	for i, pos := range positions {
+		fmt.Fprintf(w, "  HAP-%d at (%.3f°, %.3f°)\n", i+1, pos.LatDeg, pos.LonDeg)
+	}
+	fmt.Fprintln(w)
+
+	rows, err := experiments.ExtensionStatewideStudy(p, cfg, duration, []int{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			experiments.FormatPercent(r.ConnectedPairsPercent),
+			experiments.FormatPercent(r.CoveragePercent),
+			experiments.FormatPercent(r.ServedPercent),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — statewide six-LAN region (paper cities + Nashville, Memphis, Knoxville)",
+		[]string{"architecture", "reachable pairs", "coverage", "served"}, cells)
+}
+
+func runOutage(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration) error {
+	rows, err := experiments.ExtensionOutageStudy(p, cfg, duration, []float64{0, 0.05, 0.1, 0.2, 0.4})
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			fmt.Sprintf("%.0f%%", 100*r.OutageProbability),
+			experiments.FormatPercent(r.CoveragePercent),
+			experiments.FormatPercent(r.ServedPercent),
+			strconv.Itoa(r.Intervals),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — HAP outage sensitivity (air-ground)",
+		[]string{"outage prob/step", "coverage", "served", "intervals"}, cells)
+}
+
+func runMultipath(w io.Writer, p qntn.Params, cfg qntn.ServeConfig) error {
+	rows, err := experiments.ExtensionMultipathStudy(p, orbit.MaxPaperSatellites, cfg, 3)
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			strconv.Itoa(r.Paths),
+			fmt.Sprintf("%.2f", r.MeanPathsFound),
+			fmt.Sprintf("%.4f", r.MeanSuccessProbability),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — disjoint-path redundancy (hybrid: HAP + 108 satellites)",
+		[]string{"path budget", "mean paths found", "P(at least one success)"}, cells)
+}
+
+func runThroughput(w io.Writer, p qntn.Params, cfg qntn.ServeConfig) error {
+	const sourceRateHz = 1e6 // 1 MHz entangled-pair source
+	rows, err := experiments.ExtensionThroughputStudy(p, orbit.MaxPaperSatellites, cfg, sourceRateHz)
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			formatPairRate(r.MeanServedPairRateHz),
+			formatPairRate(r.MeanEffectiveRateHz),
+			formatPairRate(r.WorstServedPairRateHz),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — delivered pair rates (1 MHz platform source)",
+		[]string{"architecture", "mean (served)", "mean (all requests)", "worst served"}, cells)
+}
+
+func runArrivals(w io.Writer, p qntn.Params, duration time.Duration, seed int64) error {
+	rows, err := experiments.ExtensionArrivalStudy(p, orbit.MaxPaperSatellites, duration, []float64{60, 240}, seed)
+	if err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			fmt.Sprintf("%.0f/h", r.RatePerHour),
+			experiments.FormatPercent(r.ServedPercent),
+			experiments.FormatPercent(r.ImmediatePercent),
+			r.MeanWait.Truncate(time.Second).String(),
+			strconv.Itoa(r.MaxQueueDepth),
+			fmt.Sprintf("%.4f", r.MeanFidelity),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — Poisson arrivals through the DES (queueing dynamics)",
+		[]string{"architecture", "rate", "served", "immediate", "mean wait", "max queue", "fidelity"}, cells)
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig5(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig. 5", "transmissivity", "0.90"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable3Quick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "table3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table III", "space-ground", "air-ground", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig6Quick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "fig6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "satellites") {
+		t.Fatalf("fig6 output:\n%s", b.String())
+	}
+}
+
+func TestRunPurify(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"purify"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "BBPSSW") {
+		t.Fatalf("purify output:\n%s", b.String())
+	}
+}
+
+func TestRunLatencyQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "latency"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "ideal") {
+		t.Fatalf("latency output:\n%s", out)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-csvdir", dir, "fig5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "transmissivity,fidelity_root") {
+		t.Fatalf("csv content: %q", string(data[:60]))
+	}
+	// 101 data rows + header.
+	if lines := strings.Count(string(data), "\n"); lines != 102 {
+		t.Fatalf("csv line count %d", lines)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}, &b); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"-bogusflag", "fig5"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunQKD(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"qkd"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "BBM92") || !strings.Contains(out, "air-ground") {
+		t.Fatalf("qkd output:\n%s", out)
+	}
+}
+
+func TestRunNightQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "night"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "night only") {
+		t.Fatalf("night output:\n%s", b.String())
+	}
+}
+
+func TestRunParamsDumpAndLoad(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"params"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"wavelength_nm\": 532") {
+		t.Fatalf("params dump:\n%s", b.String())
+	}
+	// Round trip through -params.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-params", path, "fig5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 5") {
+		t.Fatal("fig5 with loaded params failed")
+	}
+	if err := run([]string{"-params", "/does/not/exist.json", "fig5"}, &out); err == nil {
+		t.Fatal("missing params file accepted")
+	}
+}
+
+func TestRunStatewideQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "statewide"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Memphis") || !strings.Contains(out, "space-ground (108 sats)") {
+		t.Fatalf("statewide output:\n%s", out)
+	}
+}
+
+func TestRunOutageQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "outage"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "outage prob/step") {
+		t.Fatalf("outage output:\n%s", b.String())
+	}
+}
+
+func TestRunMultipathQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "multipath"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "path budget") {
+		t.Fatalf("multipath output:\n%s", b.String())
+	}
+}
+
+func TestRunThroughputQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "throughput"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pair rates") {
+		t.Fatalf("throughput output:\n%s", b.String())
+	}
+}
+
+func TestRunFig7AndFig8Quick(t *testing.T) {
+	for _, fig := range []string{"fig7", "fig8"} {
+		var b strings.Builder
+		if err := run([]string{"-quick", fig}, &b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "satellites") || !strings.Contains(out, "108") {
+			t.Fatalf("%s output:\n%s", fig, out)
+		}
+	}
+}
+
+func TestRunCSVDirMultipleArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-quick", "-csvdir", dir, "table3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table3.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-csvdir", dir, "fig6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLatencyCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-quick", "-csvdir", dir, "latency"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "latency.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "architecture,memory_t2_s") {
+		t.Fatalf("latency csv: %.60s", string(data))
+	}
+}
+
+func TestRunQKDCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-csvdir", dir, "qkd"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "qkd.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "purify.csv")); err == nil {
+		t.Fatal("unexpected purify.csv from qkd subcommand")
+	}
+}
+
+func TestRunPurifyCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-csvdir", dir, "purify"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "purify.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations sweep takes ~a minute even in quick mode")
+	}
+	var b strings.Builder
+	if err := run([]string{"-quick", "ablations"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"routing cost metric",
+		"fidelity convention",
+		"elevation mask",
+		"source placement",
+		"turbulence strength",
+		"constellation design",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations output missing %q", want)
+		}
+	}
+}
+
+func TestRunArrivalsQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "arrivals"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "max queue") {
+		t.Fatalf("arrivals output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,79 @@
+// movement_sheets demonstrates the paper's STK workflow end to end with
+// this repo's substitutes: propagate the Table II constellation, export
+// 30-second movement sheets to CSV (what the paper pulls out of STK),
+// reload them, and verify that a scenario replaying the sheets produces
+// exactly the same link decisions as direct propagation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"qntn/internal/orbit"
+	"qntn/internal/qntn"
+	"qntn/internal/trace"
+)
+
+func main() {
+	const nSats = 12
+	const span = 2 * time.Hour
+
+	// 1. Propagate and record movement sheets (STK: "run the simulation,
+	//    record positions at 30 s intervals").
+	elems, err := orbit.PaperConstellation(nSats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sheets, err := orbit.GenerateSheets(elems, span, orbit.DefaultSampleInterval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("propagated %d satellites, %d samples each\n", len(sheets), len(sheets[0].Samples))
+
+	// 2. Export and re-import the CSV interchange format.
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, sheets); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("movement-sheet CSV: %d bytes\n", buf.Len())
+	reloaded, err := trace.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Build one scenario from the reloaded sheets and one from direct
+	//    propagation; their link decisions must match at every step.
+	params := qntn.DefaultParams()
+	replay, err := qntn.NewSpaceGroundFromSheets(reloaded, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := qntn.NewSpaceGround(nSats, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mismatches, links := 0, 0
+	ttu := direct.GroundIDs[qntn.NetworkTTU][0]
+	for at := time.Duration(0); at < span; at += params.StepInterval {
+		for _, sat := range direct.RelayIDs {
+			e1, ok1 := direct.EvaluateLink(ttu, sat, at)
+			e2, ok2 := replay.EvaluateLink(ttu, sat, at)
+			if ok1 != ok2 || (ok1 && e1 != e2) {
+				mismatches++
+			}
+			if ok1 {
+				links++
+			}
+		}
+	}
+	fmt.Printf("checked %d step×satellite combinations: %d usable links, %d mismatches\n",
+		nSats*int(span/params.StepInterval), links, mismatches)
+	if mismatches == 0 {
+		fmt.Println("sheet replay is bit-identical to direct propagation — the CSV")
+		fmt.Println("interchange loses nothing, so recorded ephemerides (or real STK")
+		fmt.Println("exports in the same format) can drive the simulator directly.")
+	}
+}

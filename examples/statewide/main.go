@@ -1,0 +1,61 @@
+// statewide scales the paper's question up: with Nashville, Memphis, and
+// Knoxville added to the three QNTN cities, how many HAPs does the
+// air-ground architecture need — and where do they go — versus what the
+// satellite constellation provides for free? It exercises the custom
+// scenario API, the greedy placement optimizer, and per-pair coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qntn/internal/qntn"
+)
+
+func main() {
+	params := qntn.DefaultParams()
+	lans := qntn.ExtendedNetworks()
+	fmt.Printf("region: %d local networks\n", len(lans))
+	for _, lan := range lans {
+		c := lan.Centroid()
+		fmt.Printf("  %-5s %d nodes around (%.3f°, %.3f°)\n", lan.Name, len(lan.Nodes), c.LatDeg, c.LonDeg)
+	}
+
+	placement, err := qntn.PlaceHAPs(params, lans, 6, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngreedy placement: %d platforms reach %d/%d LAN pairs\n",
+		len(placement.Positions), placement.ConnectedPairs, placement.TotalPairs)
+	for i, pos := range placement.Positions {
+		fmt.Printf("  HAP-%d hovers at (%.3f°, %.3f°)\n", i+1, pos.LatDeg, pos.LonDeg)
+	}
+	fmt.Println("  (Memphis stays unreachable: no 30 km platform spans the ≈290 km")
+	fmt.Println("   gap from Nashville and there is no intermediate LAN to chain through)")
+
+	fleet, err := qntn.NewMultiHAP(params, lans, placement.Positions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detail, err := fleet.DetailedCoverage(time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-pair availability over one hour (HAP fleet):")
+	for _, pc := range detail.Pairs {
+		fmt.Printf("  %-4s ↔ %-4s %7.2f%%\n", pc.NetworkA, pc.NetworkB, pc.Result.Percent())
+	}
+
+	space, err := qntn.NewExtendedSpaceGround(108, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spaceCov, err := space.Coverage(3 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n108-satellite constellation, all 15 pairs at once: %.2f%% of a 3 h window\n", spaceCov.Percent())
+	fmt.Println("statewide, the trade inverts: satellites reach everywhere part-time;")
+	fmt.Println("HAPs serve their neighborhoods full-time but never reach Memphis.")
+}

@@ -1,0 +1,3 @@
+module qntn
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package astro provides the minimal solar ephemeris needed to model the
+// daylight constraint on free-space quantum links: entangled-photon and QKD
+// downlinks are, in practice, only feasible against a dark sky (Micius
+// operates at night), so night-gating is the first realism step beyond the
+// paper's ideal-conditions assumption.
+//
+// The simulation has no absolute calendar date; the Sun is modeled with a
+// fixed declination (0 by default — equinox) and a mean-solar hour angle
+// that puts local solar midnight at the simulation epoch for longitude 0.
+package astro
+
+import (
+	"math"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+// MeanSolarDay is the duration of one mean solar day.
+const MeanSolarDay = 24 * time.Hour
+
+// CivilTwilightRad is the conventional civil-twilight depression angle
+// (6° below the horizon). Quantum downlinks are commonly considered
+// feasible once the Sun is below roughly this angle.
+const CivilTwilightRad = 6 * math.Pi / 180
+
+// Sun models the simulation's sun.
+type Sun struct {
+	// DeclinationRad is the solar declination (0 = equinox, ±23.44° at
+	// the solstices).
+	DeclinationRad float64
+}
+
+// DirectionECEF returns the unit vector from the Earth's center toward the
+// Sun at time t after the epoch. At t = 0 the Sun is over longitude 180°
+// (solar midnight at Greenwich); it moves westward one revolution per mean
+// solar day.
+func (s Sun) DirectionECEF(t time.Duration) geo.Vec3 {
+	// Subsolar longitude: starts at 180° and decreases (sun moves west).
+	lon := math.Pi - 2*math.Pi*float64(t)/float64(MeanSolarDay)
+	dec := s.DeclinationRad
+	return geo.Vec3{
+		X: math.Cos(dec) * math.Cos(lon),
+		Y: math.Cos(dec) * math.Sin(lon),
+		Z: math.Sin(dec),
+	}
+}
+
+// Elevation returns the solar elevation angle at the observer at time t.
+func (s Sun) Elevation(obs geo.LLA, t time.Duration) float64 {
+	_, _, up := geo.ENU(obs)
+	dir := s.DirectionECEF(t)
+	return math.Asin(clamp(up.Dot(dir), -1, 1))
+}
+
+// IsDark reports whether the Sun is at least twilightRad below the
+// observer's horizon at time t.
+func (s Sun) IsDark(obs geo.LLA, t time.Duration, twilightRad float64) bool {
+	return s.Elevation(obs, t) < -twilightRad
+}
+
+// DarkFraction returns the fraction of the given period during which the
+// observer is dark, sampled at the given step.
+func (s Sun) DarkFraction(obs geo.LLA, period, step time.Duration, twilightRad float64) float64 {
+	if step <= 0 || period <= 0 {
+		return 0
+	}
+	dark, total := 0, 0
+	for t := time.Duration(0); t < period; t += step {
+		total++
+		if s.IsDark(obs, t, twilightRad) {
+			dark++
+		}
+	}
+	return float64(dark) / float64(total)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,95 @@
+package astro
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+func TestSunDirectionUnitVector(t *testing.T) {
+	s := Sun{}
+	for _, at := range []time.Duration{0, 3 * time.Hour, 12 * time.Hour, 23 * time.Hour} {
+		if n := s.DirectionECEF(at).Norm(); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("sun direction norm %g at %v", n, at)
+		}
+	}
+}
+
+func TestSolarNoonAndMidnightAtGreenwich(t *testing.T) {
+	s := Sun{}
+	greenwich := geo.LLA{LatDeg: 0, LonDeg: 0}
+	// Epoch is solar midnight at Greenwich: sun at nadir.
+	if el := s.Elevation(greenwich, 0); math.Abs(el+math.Pi/2) > 1e-9 {
+		t.Fatalf("midnight elevation %g°, want -90°", geo.Deg(el))
+	}
+	// Twelve hours later: solar noon, sun at zenith (equinox, equator).
+	if el := s.Elevation(greenwich, 12*time.Hour); math.Abs(el-math.Pi/2) > 1e-9 {
+		t.Fatalf("noon elevation %g°, want 90°", geo.Deg(el))
+	}
+	// Six hours: sunrise, elevation ≈ 0.
+	if el := s.Elevation(greenwich, 6*time.Hour); math.Abs(el) > 0.01 {
+		t.Fatalf("sunrise elevation %g°", geo.Deg(el))
+	}
+}
+
+func TestEquinoxDarkFractionIsHalf(t *testing.T) {
+	s := Sun{}
+	for _, lat := range []float64{0, 36, -36, 60} {
+		obs := geo.LLA{LatDeg: lat, LonDeg: -85}
+		frac := s.DarkFraction(obs, 24*time.Hour, time.Minute, 0)
+		if math.Abs(frac-0.5) > 0.01 {
+			t.Fatalf("equinox dark fraction at lat %g = %g, want 0.5", lat, frac)
+		}
+	}
+}
+
+func TestSolsticeAsymmetry(t *testing.T) {
+	summer := Sun{DeclinationRad: geo.Rad(23.44)}
+	tn := geo.LLA{LatDeg: 36, LonDeg: -85}
+	dark := summer.DarkFraction(tn, 24*time.Hour, time.Minute, 0)
+	// Tennessee summer nights are short: well under half the day.
+	if dark >= 0.5 || dark < 0.3 {
+		t.Fatalf("summer dark fraction %g", dark)
+	}
+	winter := Sun{DeclinationRad: geo.Rad(-23.44)}
+	if w := winter.DarkFraction(tn, 24*time.Hour, time.Minute, 0); w <= dark {
+		t.Fatalf("winter nights (%g) should exceed summer (%g)", w, dark)
+	}
+}
+
+func TestTwilightMarginShrinksDarkness(t *testing.T) {
+	s := Sun{}
+	tn := geo.LLA{LatDeg: 36, LonDeg: -85}
+	plain := s.DarkFraction(tn, 24*time.Hour, time.Minute, 0)
+	civil := s.DarkFraction(tn, 24*time.Hour, time.Minute, CivilTwilightRad)
+	if civil >= plain {
+		t.Fatalf("twilight margin should shrink darkness: %g vs %g", civil, plain)
+	}
+	if civil < 0.4 {
+		t.Fatalf("civil-twilight dark fraction %g implausibly small", civil)
+	}
+}
+
+func TestIsDarkConsistentWithElevation(t *testing.T) {
+	s := Sun{}
+	tn := geo.LLA{LatDeg: 36, LonDeg: -85}
+	for at := time.Duration(0); at < 24*time.Hour; at += 37 * time.Minute {
+		dark := s.IsDark(tn, at, CivilTwilightRad)
+		el := s.Elevation(tn, at)
+		if dark != (el < -CivilTwilightRad) {
+			t.Fatalf("IsDark inconsistent at %v", at)
+		}
+	}
+}
+
+func TestDarkFractionDegenerateInputs(t *testing.T) {
+	s := Sun{}
+	if s.DarkFraction(geo.LLA{}, 0, time.Minute, 0) != 0 {
+		t.Fatal("zero period should give 0")
+	}
+	if s.DarkFraction(geo.LLA{}, time.Hour, 0, 0) != 0 {
+		t.Fatal("zero step should give 0")
+	}
+}

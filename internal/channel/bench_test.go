@@ -1,0 +1,39 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"qntn/internal/atmosphere"
+)
+
+func BenchmarkFSOBreakdownClear(b *testing.B) {
+	c := testFSO()
+	g := FSOGeometry{RangeM: 800e3, ElevationRad: math.Pi / 5, LoAltM: 0, HiAltM: 500e3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Breakdown(g)
+	}
+}
+
+func BenchmarkFSOBreakdownTurbulent(b *testing.B) {
+	c := testFSO()
+	hv := atmosphere.HV57()
+	c.Turbulence = &hv
+	g := FSOGeometry{RangeM: 800e3, ElevationRad: math.Pi / 5, LoAltM: 0, HiAltM: 500e3}
+	// Prime the vertical-integral cache, then measure the steady state the
+	// simulator sees.
+	_ = c.Breakdown(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Breakdown(g)
+	}
+}
+
+func BenchmarkFiberTransmissivity(b *testing.B) {
+	f := Fiber{AttenuationDBPerKm: PaperFiberAttenuationDBPerKm}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Transmissivity(float64(i%3000) + 100)
+	}
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"qntn/internal/atmosphere"
+	"qntn/internal/geo"
+	"qntn/internal/orbit"
+	"qntn/internal/qntn"
+	"qntn/internal/routing"
+	"qntn/internal/stats"
+)
+
+// RoutingMetricResult compares routing cost functions on identical
+// topologies and workloads.
+type RoutingMetricResult struct {
+	Metric        string
+	ServedPercent float64
+	MeanFidelity  float64
+	MeanPathEta   float64
+	MeanHops      float64
+}
+
+// AblationRoutingMetric contrasts the paper's 1/(η+ε) additive metric with
+// the product-optimal −log η metric and plain hop count. It runs on the
+// hybrid (HAP + constellation) topology: with a single relay layer there is
+// almost never more than one bridging relay, so every metric picks the same
+// path; the hybrid offers genuine route diversity (HAP vs best satellite)
+// and exposes the metrics' different choices. The same request workload is
+// replayed for every metric.
+func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]RoutingMetricResult, error) {
+	sc, err := qntn.NewHybrid(nSats, p)
+	if err != nil {
+		return nil, err
+	}
+	metrics := []struct {
+		name string
+		cost routing.CostFunc
+	}{
+		{"1/(eta+eps) (paper)", routing.InverseEtaCost(p.RoutingEpsilon)},
+		{"-log(eta) (product-optimal)", routing.NegLogEtaCost(p.RoutingEpsilon)},
+		{"hop count", routing.HopCountCost()},
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = orbit.Day
+	}
+	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
+
+	out := make([]RoutingMetricResult, 0, len(metrics))
+	for _, m := range metrics {
+		wl := qntn.NewWorkload(sc, cfg.Seed)
+		var fids, etas, hops []float64
+		attempted, served := 0, 0
+		for step := 0; step < cfg.Steps; step++ {
+			at := time.Duration(step) * stepGap
+			g, err := sc.Graph(at)
+			if err != nil {
+				return nil, err
+			}
+			// One Dijkstra per distinct source in this step's batch.
+			bySrc := make(map[string]*routing.SingleSourceResult)
+			for _, req := range wl.Batch(cfg.RequestsPerStep) {
+				attempted++
+				res, ok := bySrc[req.Src]
+				if !ok {
+					res, err = routing.Dijkstra(g, req.Src, m.cost)
+					if err != nil {
+						return nil, err
+					}
+					bySrc[req.Src] = res
+				}
+				if math.IsInf(res.Dist[req.Dst], 1) {
+					continue
+				}
+				path, err := res.PathTo(req.Dst)
+				if err != nil {
+					return nil, err
+				}
+				hopEtas, err := g.EdgeEtas(path)
+				if err != nil {
+					return nil, err
+				}
+				eta := 1.0
+				for _, e := range hopEtas {
+					eta *= e
+				}
+				served++
+				fids = append(fids, qntn.PathFidelity(hopEtas, p.FidelityModel))
+				etas = append(etas, eta)
+				hops = append(hops, float64(len(hopEtas)))
+			}
+		}
+		r := RoutingMetricResult{Metric: m.name}
+		if attempted > 0 {
+			r.ServedPercent = 100 * float64(served) / float64(attempted)
+		}
+		r.MeanFidelity = stats.Mean(fids)
+		r.MeanPathEta = stats.Mean(etas)
+		r.MeanHops = stats.Mean(hops)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ConventionResult reports the two fidelity conventions side by side for
+// one architecture.
+type ConventionResult struct {
+	Architecture string
+	MeanRoot     float64
+	MeanSquared  float64
+}
+
+// AblationFidelityConvention re-scores both architectures' served requests
+// under the root and squared Uhlmann conventions — quantifying the
+// discrepancy documented in DESIGN.md.
+func AblationFidelityConvention(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]ConventionResult, error) {
+	scenarios := make(map[string]*qntn.Scenario, 2)
+	space, err := qntn.NewSpaceGround(nSats, p)
+	if err != nil {
+		return nil, err
+	}
+	scenarios[qntn.SpaceGround.String()] = space
+	air, err := qntn.NewAirGround(p)
+	if err != nil {
+		return nil, err
+	}
+	scenarios[qntn.AirGround.String()] = air
+
+	var out []ConventionResult
+	for _, name := range []string{qntn.SpaceGround.String(), qntn.AirGround.String()} {
+		res, err := scenarios[name].RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var roots, squares []float64
+		for _, o := range res.Metrics.Outcomes {
+			if o.Served {
+				roots = append(roots, o.Fidelity)
+				squares = append(squares, o.Fidelity*o.Fidelity)
+			}
+		}
+		out = append(out, ConventionResult{
+			Architecture: name,
+			MeanRoot:     stats.Mean(roots),
+			MeanSquared:  stats.Mean(squares),
+		})
+	}
+	return out, nil
+}
+
+// TurbulenceResult reports performance under a scaled Hufnagel-Valley
+// turbulence profile.
+type TurbulenceResult struct {
+	Scale              float64
+	SpaceServedPercent float64
+	SpaceMeanFidelity  float64
+	AirServedPercent   float64
+	AirMeanFidelity    float64
+}
+
+// AblationTurbulence sweeps turbulence strength (0 = the paper's ideal
+// assumption; 1 = nominal HV5/7; above 1 = degraded weather), addressing
+// the paper's future-work question of how weather affects each
+// architecture.
+func AblationTurbulence(p qntn.Params, nSats int, cfg qntn.ServeConfig, scales []float64) ([]TurbulenceResult, error) {
+	var out []TurbulenceResult
+	for _, s := range scales {
+		ps := p
+		if s > 0 {
+			hv := atmosphere.HV57().Scaled(s)
+			ps.Turbulence = &hv
+		} else {
+			ps.Turbulence = nil
+		}
+		space, err := qntn.NewSpaceGround(nSats, ps)
+		if err != nil {
+			return nil, err
+		}
+		spaceRes, err := space.RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		air, err := qntn.NewAirGround(ps)
+		if err != nil {
+			return nil, err
+		}
+		airRes, err := air.RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TurbulenceResult{
+			Scale:              s,
+			SpaceServedPercent: spaceRes.ServedPercent,
+			SpaceMeanFidelity:  spaceRes.MeanFidelity,
+			AirServedPercent:   airRes.ServedPercent,
+			AirMeanFidelity:    airRes.MeanFidelity,
+		})
+	}
+	return out, nil
+}
+
+// MaskResult reports coverage under one elevation mask.
+type MaskResult struct {
+	MaskDeg         float64
+	CoveragePercent float64
+}
+
+// AblationElevationMask sweeps the ground-terminal elevation mask,
+// quantifying how strongly the paper's π/9 choice drives the coverage
+// result.
+func AblationElevationMask(p qntn.Params, nSats int, duration time.Duration, masksDeg []float64) ([]MaskResult, error) {
+	var out []MaskResult
+	for _, deg := range masksDeg {
+		pm := p
+		pm.MinElevationRad = geo.Rad(deg)
+		points, err := qntn.CoverageSweep(pm, []int{nSats}, duration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MaskResult{MaskDeg: deg, CoveragePercent: points[0].Result.Percent()})
+	}
+	return out, nil
+}
+
+// PlacementResult reports one (architecture, source placement) cell.
+type PlacementResult struct {
+	Architecture string
+	Model        qntn.FidelityModel
+	MeanFidelity float64
+}
+
+// AblationSourcePlacement contrasts the platform-source (best-split,
+// Micius-style) model with keeping the entanglement source at the
+// requesting endpoint.
+func AblationSourcePlacement(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]PlacementResult, error) {
+	var out []PlacementResult
+	for _, model := range []qntn.FidelityModel{qntn.SourceAtBestSplit, qntn.SourceAtEndpoint} {
+		pm := p
+		pm.FidelityModel = model
+		space, err := qntn.NewSpaceGround(nSats, pm)
+		if err != nil {
+			return nil, err
+		}
+		spaceRes, err := space.RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PlacementResult{qntn.SpaceGround.String(), model, spaceRes.MeanFidelity})
+		air, err := qntn.NewAirGround(pm)
+		if err != nil {
+			return nil, err
+		}
+		airRes, err := air.RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PlacementResult{qntn.AirGround.String(), model, airRes.MeanFidelity})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no placement results")
+	}
+	return out, nil
+}
+
+// OrbitDesignResult reports coverage for one constellation design point.
+type OrbitDesignResult struct {
+	AltitudeKM      float64
+	InclinationDeg  float64
+	CoveragePercent float64
+}
+
+// AblationOrbitDesign sweeps the constellation's altitude and inclination
+// (keeping the Table II slot pattern and satellite count) to show how the
+// paper's 500 km / 53° choice trades footprint size against link budget:
+// higher orbits see more of Tennessee but their longer slant ranges push
+// links below the transmissivity threshold.
+func AblationOrbitDesign(p qntn.Params, nSats int, duration time.Duration, altitudesKM, inclinationsDeg []float64) ([]OrbitDesignResult, error) {
+	var out []OrbitDesignResult
+	for _, alt := range altitudesKM {
+		for _, incl := range inclinationsDeg {
+			pp := p
+			pp.SatelliteAltitudeM = alt * 1000
+			pp.InclinationDeg = incl
+			points, err := qntn.CoverageSweep(pp, []int{nSats}, duration)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, OrbitDesignResult{
+				AltitudeKM:      alt,
+				InclinationDeg:  incl,
+				CoveragePercent: points[0].Result.Percent(),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"qntn/internal/qntn"
+)
+
+// WriteCSV emits headers plus rows as CSV — the machine-readable
+// counterpart of RenderTable, for regenerating the paper's figures with an
+// external plotter.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for _, r := range rows {
+		if len(r) != len(headers) {
+			return fmt.Errorf("experiments: csv row has %d cells, want %d", len(r), len(headers))
+		}
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiments: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig5CSV writes the Fig. 5 sweep.
+func Fig5CSV(w io.Writer, points []Fig5Point) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			strconv.FormatFloat(p.Eta, 'f', 4, 64),
+			strconv.FormatFloat(p.FidelityRoot, 'f', 6, 64),
+			strconv.FormatFloat(p.FidelitySquared, 'f', 6, 64),
+		}
+	}
+	return WriteCSV(w, []string{"transmissivity", "fidelity_root", "fidelity_squared"}, rows)
+}
+
+// Fig6CSV writes the coverage sweep.
+func Fig6CSV(w io.Writer, points []qntn.CoveragePoint) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			strconv.Itoa(p.Satellites),
+			strconv.FormatFloat(p.Result.Percent(), 'f', 4, 64),
+			strconv.FormatFloat(p.Result.Covered.Seconds(), 'f', 0, 64),
+			strconv.Itoa(len(p.Result.Intervals)),
+		}
+	}
+	return WriteCSV(w, []string{"satellites", "coverage_percent", "covered_seconds", "intervals"}, rows)
+}
+
+// Fig78CSV writes the serve sweep (Figs. 7 and 8 share the workload).
+func Fig78CSV(w io.Writer, points []qntn.ServePoint) error {
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			strconv.Itoa(p.Satellites),
+			strconv.FormatFloat(p.Result.ServedPercent, 'f', 4, 64),
+			strconv.FormatFloat(p.Result.MeanFidelity, 'f', 6, 64),
+			strconv.FormatFloat(p.Result.MeanPathEta, 'f', 6, 64),
+		}
+	}
+	return WriteCSV(w, []string{"satellites", "served_percent", "mean_fidelity", "mean_path_eta"}, rows)
+}
+
+// Table3CSV writes the architecture comparison.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			strconv.FormatFloat(r.CoveragePercent, 'f', 4, 64),
+			strconv.FormatFloat(r.ServedPercent, 'f', 4, 64),
+			strconv.FormatFloat(r.MeanFidelity, 'f', 6, 64),
+		}
+	}
+	return WriteCSV(w, []string{"architecture", "coverage_percent", "served_percent", "mean_fidelity"}, cells)
+}
+
+// LatencyCSV writes the time-aware extension study.
+func LatencyCSV(w io.Writer, rows []LatencyRow) error {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Architecture,
+			strconv.FormatFloat(r.MemoryT2.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(r.ServedPercent, 'f', 4, 64),
+			strconv.FormatFloat(r.MeanFidelity, 'f', 6, 64),
+			strconv.FormatFloat(r.MeanLatency.Seconds(), 'f', 9, 64),
+			strconv.FormatFloat(r.MaxLatency.Seconds(), 'f', 9, 64),
+		}
+	}
+	return WriteCSV(w, []string{"architecture", "memory_t2_s", "served_percent", "mean_fidelity", "mean_latency_s", "max_latency_s"}, cells)
+}
+
+// PurificationCSV writes the purification extension study.
+func PurificationCSV(w io.Writer, rows []PurificationRow) error {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			strconv.FormatFloat(r.LinkEta, 'f', 4, 64),
+			strconv.Itoa(r.Round),
+			strconv.FormatFloat(r.Fidelity, 'f', 6, 64),
+			strconv.FormatFloat(r.SuccessProbability, 'f', 6, 64),
+			strconv.FormatFloat(r.ExpectedPairsConsumed, 'f', 4, 64),
+		}
+	}
+	return WriteCSV(w, []string{"link_eta", "round", "fidelity", "success_probability", "expected_pairs"}, cells)
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qntn/internal/qntn"
+)
+
+func TestFig5Sweep(t *testing.T) {
+	points, err := Fig5(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 101 {
+		t.Fatalf("point count %d, want 101", len(points))
+	}
+	if points[0].Eta != 0 || math.Abs(points[100].Eta-1) > 1e-9 {
+		t.Fatalf("sweep range [%g, %g]", points[0].Eta, points[100].Eta)
+	}
+	// Monotone increasing fidelity, endpoints 0.5 and 1.
+	prev := -1.0
+	for _, p := range points {
+		if p.FidelityRoot < prev {
+			t.Fatalf("fidelity not monotone at eta=%g", p.Eta)
+		}
+		prev = p.FidelityRoot
+		if math.Abs(p.FidelitySquared-p.FidelityRoot*p.FidelityRoot) > 1e-12 {
+			t.Fatalf("squared inconsistent at eta=%g", p.Eta)
+		}
+	}
+	if math.Abs(points[0].FidelityRoot-0.5) > 1e-9 {
+		t.Fatalf("F(0) = %g, want 0.5", points[0].FidelityRoot)
+	}
+	if math.Abs(points[100].FidelityRoot-1) > 1e-9 {
+		t.Fatalf("F(1) = %g, want 1", points[100].FidelityRoot)
+	}
+}
+
+func TestFig5ThresholdIsPoint7(t *testing.T) {
+	// The paper's headline reading of Fig. 5: transmissivity 0.7 is the
+	// first sweep point with fidelity above 0.9.
+	points, err := Fig5(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta, err := Fig5Threshold(points, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F = (1+sqrt(eta))/2 crosses 0.9 exactly at eta = 0.64; the paper's
+	// 0.7 is a conservative read of the same curve. Assert both: the
+	// crossing sits at 0.64, and the paper's statement "0.7 yields
+	// fidelity greater than 90%" holds.
+	if math.Abs(eta-0.64) > 0.0101 {
+		t.Fatalf("0.9-fidelity crossing at eta=%g, want ≈0.64", eta)
+	}
+	var at07 float64
+	for _, p := range points {
+		if math.Abs(p.Eta-0.7) < 1e-9 {
+			at07 = p.FidelityRoot
+		}
+	}
+	if at07 <= 0.9 {
+		t.Fatalf("F(0.7) = %g, paper requires > 0.9", at07)
+	}
+	if _, err := Fig5Threshold(points, 1.1); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func TestFig5RejectsBadStep(t *testing.T) {
+	for _, s := range []float64{0, -0.1, 1.5} {
+		if _, err := Fig5(s); err == nil {
+			t.Errorf("step %g accepted", s)
+		}
+	}
+}
+
+func TestFig6ShortWindow(t *testing.T) {
+	points, err := Fig6(qntn.DefaultParams(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 18 {
+		t.Fatalf("%d points", len(points))
+	}
+	if points[17].Satellites != 108 {
+		t.Fatalf("last point %d satellites", points[17].Satellites)
+	}
+}
+
+func TestTable3ShortRun(t *testing.T) {
+	cfg := qntn.ServeConfig{RequestsPerStep: 10, Steps: 5, Horizon: 24 * time.Hour, Seed: 2}
+	rows, err := Table3(qntn.DefaultParams(), cfg, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	space, air := rows[0], rows[1]
+	if space.Architecture != "space-ground" || air.Architecture != "air-ground" {
+		t.Fatalf("row order %v / %v", space.Architecture, air.Architecture)
+	}
+	// The paper's qualitative result: air-ground dominates on every
+	// metric.
+	if air.CoveragePercent < space.CoveragePercent {
+		t.Fatalf("air coverage %.2f < space %.2f", air.CoveragePercent, space.CoveragePercent)
+	}
+	if air.ServedPercent < space.ServedPercent {
+		t.Fatalf("air served %.2f < space %.2f", air.ServedPercent, space.ServedPercent)
+	}
+	if air.MeanFidelity <= space.MeanFidelity {
+		t.Fatalf("air fidelity %.4f <= space %.4f", air.MeanFidelity, space.MeanFidelity)
+	}
+	if air.CoveragePercent != 100 || air.ServedPercent != 100 {
+		t.Fatalf("air-ground should be 100/100, got %.2f/%.2f", air.CoveragePercent, air.ServedPercent)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var b strings.Builder
+	err := RenderTable(&b, "Title", []string{"A", "Bee"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Title", "A", "Bee", "333", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var b strings.Builder
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 4, 9}
+	if err := RenderSeries(&b, "quad", "x", "y", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "quad") {
+		t.Fatalf("series output missing marks:\n%s", out)
+	}
+	if err := RenderSeries(&b, "", "x", "y", xs, ys[:2]); err == nil {
+		t.Fatal("misaligned series accepted")
+	}
+	if err := RenderSeries(&b, "", "x", "y", nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	// Constant series should not divide by zero.
+	if err := RenderSeries(&b, "flat", "x", "y", []float64{1, 2}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if FormatPercent(55.171) != "55.17%" {
+		t.Fatalf("percent format %q", FormatPercent(55.171))
+	}
+	if FormatFidelity(0.9786) != "0.98" {
+		t.Fatalf("fidelity format %q", FormatFidelity(0.9786))
+	}
+}
+
+func TestAblationRoutingMetric(t *testing.T) {
+	cfg := qntn.ServeConfig{RequestsPerStep: 10, Steps: 4, Horizon: 24 * time.Hour, Seed: 3}
+	rows, err := AblationRoutingMetric(qntn.DefaultParams(), 36, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// All metrics serve the same request set on the same topology, so the
+	// served percentage must be identical (reachability does not depend
+	// on the metric).
+	for _, r := range rows[1:] {
+		if math.Abs(r.ServedPercent-rows[0].ServedPercent) > 1e-9 {
+			t.Fatalf("served%% differs across metrics: %+v", rows)
+		}
+	}
+	// The product-optimal metric cannot yield a worse mean path
+	// transmissivity than hop count.
+	var optimal, hops *RoutingMetricResult
+	for i := range rows {
+		switch {
+		case strings.Contains(rows[i].Metric, "log"):
+			optimal = &rows[i]
+		case strings.Contains(rows[i].Metric, "hop"):
+			hops = &rows[i]
+		}
+	}
+	if optimal == nil || hops == nil {
+		t.Fatal("expected metrics missing")
+	}
+	if optimal.MeanPathEta+1e-9 < hops.MeanPathEta {
+		t.Fatalf("product-optimal eta %.4f below hop-count %.4f", optimal.MeanPathEta, hops.MeanPathEta)
+	}
+}
+
+func TestAblationFidelityConvention(t *testing.T) {
+	cfg := qntn.ServeConfig{RequestsPerStep: 10, Steps: 3, Horizon: 24 * time.Hour, Seed: 3}
+	rows, err := AblationFidelityConvention(qntn.DefaultParams(), 36, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanSquared >= r.MeanRoot && r.MeanRoot > 0 {
+			t.Fatalf("%s: squared %g not below root %g", r.Architecture, r.MeanSquared, r.MeanRoot)
+		}
+	}
+}
+
+func TestAblationElevationMask(t *testing.T) {
+	rows, err := AblationElevationMask(qntn.DefaultParams(), 108, time.Hour, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Lower mask → more coverage.
+	if rows[0].CoveragePercent < rows[1].CoveragePercent || rows[1].CoveragePercent < rows[2].CoveragePercent {
+		t.Fatalf("coverage not monotone in mask: %+v", rows)
+	}
+}
+
+func TestAblationSourcePlacement(t *testing.T) {
+	cfg := qntn.ServeConfig{RequestsPerStep: 8, Steps: 3, Horizon: 24 * time.Hour, Seed: 4}
+	rows, err := AblationSourcePlacement(qntn.DefaultParams(), 36, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Best-split fidelity dominates endpoint fidelity per architecture.
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Architecture+"/"+r.Model.String()] = r.MeanFidelity
+	}
+	for _, arch := range []string{"space-ground", "air-ground"} {
+		best := byKey[arch+"/source-at-best-split"]
+		end := byKey[arch+"/source-at-endpoint"]
+		if best != 0 && end != 0 && best < end {
+			t.Fatalf("%s: best-split %g below endpoint %g", arch, best, end)
+		}
+	}
+}
+
+func TestAblationTurbulence(t *testing.T) {
+	cfg := qntn.ServeConfig{RequestsPerStep: 6, Steps: 2, Horizon: 24 * time.Hour, Seed: 4}
+	rows, err := AblationTurbulence(qntn.DefaultParams(), 36, cfg, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	clear, turb := rows[0], rows[1]
+	// Turbulence cannot improve anything.
+	if turb.AirMeanFidelity > clear.AirMeanFidelity+1e-9 {
+		t.Fatalf("turbulence improved air fidelity: %+v", rows)
+	}
+	if turb.SpaceServedPercent > clear.SpaceServedPercent+1e-9 {
+		t.Fatalf("turbulence improved space serving: %+v", rows)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"time"
+
+	"qntn/internal/orbit"
+	"qntn/internal/qntn"
+)
+
+// Fig6 computes the paper's Fig. 6: coverage percentage of the space-ground
+// network as a function of the number of satellites (6..108), over the
+// given period (the paper uses a full day).
+func Fig6(p qntn.Params, duration time.Duration) ([]qntn.CoveragePoint, error) {
+	return qntn.CoverageSweep(p, qntn.PaperSweepSizes(), duration)
+}
+
+// Fig7And8 computes the paper's Fig. 7 (served entanglement distribution
+// requests) and Fig. 8 (average entanglement fidelity of resolved requests)
+// in one pass: both figures share the same workload of 100 random
+// inter-LAN requests over 100 satellite-movement steps.
+func Fig7And8(p qntn.Params, cfg qntn.ServeConfig) ([]qntn.ServePoint, error) {
+	return qntn.ServeSweep(p, qntn.PaperSweepSizes(), cfg)
+}
+
+// Table3Row is one architecture row of the paper's Table III comparison.
+type Table3Row struct {
+	Architecture    string
+	CoveragePercent float64
+	ServedPercent   float64
+	MeanFidelity    float64
+}
+
+// Table3 reproduces the paper's Table III: the space-ground architecture
+// with 108 satellites versus the air-ground architecture, compared on
+// full-day coverage, served requests, and average entanglement fidelity.
+func Table3(p qntn.Params, cfg qntn.ServeConfig, coverageDuration time.Duration) ([]Table3Row, error) {
+	if coverageDuration <= 0 {
+		coverageDuration = orbit.Day
+	}
+	var rows []Table3Row
+
+	space, err := qntn.NewSpaceGround(orbit.MaxPaperSatellites, p)
+	if err != nil {
+		return nil, err
+	}
+	spaceCov, err := space.Coverage(coverageDuration)
+	if err != nil {
+		return nil, err
+	}
+	spaceServe, err := space.RunServe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table3Row{
+		Architecture:    qntn.SpaceGround.String(),
+		CoveragePercent: spaceCov.Percent(),
+		ServedPercent:   spaceServe.ServedPercent,
+		MeanFidelity:    spaceServe.MeanFidelity,
+	})
+
+	air, err := qntn.NewAirGround(p)
+	if err != nil {
+		return nil, err
+	}
+	airCov, err := air.Coverage(coverageDuration)
+	if err != nil {
+		return nil, err
+	}
+	airServe, err := air.RunServe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table3Row{
+		Architecture:    qntn.AirGround.String(),
+		CoveragePercent: airCov.Percent(),
+		ServedPercent:   airServe.ServedPercent,
+		MeanFidelity:    airServe.MeanFidelity,
+	})
+	return rows, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"qntn/internal/channel"
+	"qntn/internal/geo"
+	"qntn/internal/qkd"
+	"qntn/internal/qntn"
+)
+
+// QKDRow compares key-distribution strategies over one relay geometry.
+type QKDRow struct {
+	// Label names the geometry ("air-ground TTU↔ORNL", "space-ground
+	// @40°", ...).
+	Label string
+	// Eta1, Eta2 are the two downlink transmissivities.
+	Eta1, Eta2 float64
+	// BBM92KeyRateHz is the entanglement-based (untrusted relay) secret
+	// key rate.
+	BBM92KeyRateHz float64
+	// TrustedBB84KeyRateHz is the trusted-relay rate: independent BB84
+	// links to each ground site, limited by the weaker leg.
+	TrustedBB84KeyRateHz float64
+	// QBER is the entanglement-based error rate.
+	QBER float64
+}
+
+// ExtensionQKDStudy evaluates the QKD service (the application class the
+// paper's related work centers on) over both architectures: the HAP
+// geometry for each LAN pair, and satellites at representative elevations.
+// Two strategies are compared per geometry — entanglement-based BBM92 with
+// an untrusted relay, and trusted-relay decoy BB84.
+func ExtensionQKDStudy(p qntn.Params, d qkd.DetectorParams) ([]QKDRow, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []QKDRow
+
+	// Air-ground geometries: HAP downlinks to each LAN centroid.
+	hapPos := geo.LLA{LatDeg: p.HAPLatDeg, LonDeg: p.HAPLonDeg, AltM: p.HAPAltM}
+	hapCfg := p.HAPDownlinkFSO()
+	nets := qntn.GroundNetworks()
+	hapEta := make(map[string]float64, len(nets))
+	for _, lan := range nets {
+		look := geo.Look(lan.Centroid(), hapPos.ECEF())
+		hapEta[lan.Name] = hapCfg.Transmissivity(channel.FSOGeometry{
+			RangeM:       look.SlantRangeM,
+			ElevationRad: look.ElevationRad,
+			LoAltM:       0,
+			HiAltM:       p.HAPAltM,
+		})
+	}
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			row, err := qkdRow(
+				fmt.Sprintf("air-ground %s↔%s", nets[i].Name, nets[j].Name),
+				hapEta[nets[i].Name], hapEta[nets[j].Name], d)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Space-ground geometries: symmetric downlinks at representative
+	// elevations.
+	spaceCfg := p.SpaceDownlinkFSO()
+	re := geo.EarthRadiusM
+	h := p.SatelliteAltitudeM
+	for _, deg := range []float64{25, 40, 60, 90} {
+		e := geo.Rad(deg)
+		slant := math.Sqrt((re+h)*(re+h)-re*re*math.Cos(e)*math.Cos(e)) - re*math.Sin(e)
+		eta := spaceCfg.Transmissivity(channel.FSOGeometry{
+			RangeM:       slant,
+			ElevationRad: e,
+			LoAltM:       0,
+			HiAltM:       h,
+		})
+		row, err := qkdRow(fmt.Sprintf("space-ground @%0.f°", deg), eta, eta, d)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func qkdRow(label string, eta1, eta2 float64, d qkd.DetectorParams) (QKDRow, error) {
+	bbm, err := qkd.RelayBBM92(eta1, eta2, d)
+	if err != nil {
+		return QKDRow{}, err
+	}
+	b1, err := qkd.BB84(eta1, d)
+	if err != nil {
+		return QKDRow{}, err
+	}
+	b2, err := qkd.BB84(eta2, d)
+	if err != nil {
+		return QKDRow{}, err
+	}
+	trusted := math.Min(b1.SecretKeyRateHz, b2.SecretKeyRateHz)
+	return QKDRow{
+		Label:                label,
+		Eta1:                 eta1,
+		Eta2:                 eta2,
+		BBM92KeyRateHz:       bbm.SecretKeyRateHz,
+		TrustedBB84KeyRateHz: trusted,
+		QBER:                 bbm.QBERz,
+	}, nil
+}
+
+// QKDCSV writes the QKD study.
+func QKDCSV(w io.Writer, rows []QKDRow) error {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			r.Label,
+			fmt.Sprintf("%.4f", r.Eta1),
+			fmt.Sprintf("%.4f", r.Eta2),
+			fmt.Sprintf("%.1f", r.BBM92KeyRateHz),
+			fmt.Sprintf("%.1f", r.TrustedBB84KeyRateHz),
+			fmt.Sprintf("%.5f", r.QBER),
+		}
+	}
+	return WriteCSV(w, []string{"geometry", "eta1", "eta2", "bbm92_bps", "trusted_bb84_bps", "qber"}, cells)
+}

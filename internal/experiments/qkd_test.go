@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qntn/internal/qkd"
+	"qntn/internal/qntn"
+)
+
+func TestExtensionQKDStudy(t *testing.T) {
+	rows, err := ExtensionQKDStudy(qntn.DefaultParams(), qkd.DefaultDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 LAN pairs + 4 satellite elevations.
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byLabel := map[string]QKDRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.BBM92KeyRateHz <= 0 {
+			t.Errorf("%s: no BBM92 key", r.Label)
+		}
+		if r.TrustedBB84KeyRateHz <= 0 {
+			t.Errorf("%s: no trusted BB84 key", r.Label)
+		}
+		if r.QBER <= 0 || r.QBER > 0.05 {
+			t.Errorf("%s: QBER %g outside the misalignment-dominated regime", r.Label, r.QBER)
+		}
+	}
+	// Key rate rises with satellite elevation.
+	if byLabel["space-ground @25°"].BBM92KeyRateHz >= byLabel["space-ground @90°"].BBM92KeyRateHz {
+		t.Fatal("key rate should grow with elevation")
+	}
+	// The HAP geometry beats the worst-case satellite geometry.
+	if byLabel["air-ground TTU↔ORNL"].BBM92KeyRateHz <= byLabel["space-ground @25°"].BBM92KeyRateHz {
+		t.Fatal("HAP should beat a 25°-elevation satellite")
+	}
+}
+
+func TestExtensionQKDStudyRejectsBadDetector(t *testing.T) {
+	if _, err := ExtensionQKDStudy(qntn.DefaultParams(), qkd.DetectorParams{}); err == nil {
+		t.Fatal("invalid detector accepted")
+	}
+}
+
+func TestQKDCSV(t *testing.T) {
+	rows, err := ExtensionQKDStudy(qntn.DefaultParams(), qkd.DefaultDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := QKDCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "geometry,eta1,eta2,bbm92_bps") {
+		t.Fatalf("csv header: %q", out[:40])
+	}
+	if strings.Count(out, "\n") != len(rows)+1 {
+		t.Fatal("csv row count wrong")
+	}
+}

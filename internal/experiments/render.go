@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderTable writes an aligned ASCII table.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderSeries writes a simple ASCII line chart of y against x, the text
+// stand-in for the paper's figures.
+func RenderSeries(w io.Writer, title, xLabel, yLabel string, xs, ys []float64) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("experiments: series must be non-empty and aligned (%d vs %d)", len(xs), len(ys))
+	}
+	const height, width = 16, 64
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		yMin = math.Min(yMin, y)
+		yMax = math.Max(yMax, y)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int(math.Round((xs[i] - xMin) / (xMax - xMin) * float64(width-1)))
+		r := int(math.Round((ys[i] - yMin) / (yMax - yMin) * float64(height-1)))
+		grid[height-1-r][c] = '*'
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, line := range grid {
+		yTick := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3f |%s\n", yTick, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", width/2, xMin, width-width/2, xMax)
+	fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", xLabel, yLabel)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FormatPercent renders a percentage with two decimals, e.g. "55.17%".
+func FormatPercent(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// FormatFidelity renders a fidelity with two decimals, matching the
+// paper's precision.
+func FormatFidelity(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"qntn/internal/qntn"
+	"qntn/internal/stats"
+)
+
+// ThroughputRow reports delivered-pair rates for one architecture.
+type ThroughputRow struct {
+	Architecture string
+	// MeanServedPairRateHz is the average coincidence (delivered-pair)
+	// rate over served requests: source rate × end-to-end transmissivity.
+	MeanServedPairRateHz float64
+	// MeanEffectiveRateHz averages over all requests, counting unserved
+	// ones as zero — the rate a random request actually experiences.
+	MeanEffectiveRateHz float64
+	// WorstServedPairRateHz is the slowest served request's rate.
+	WorstServedPairRateHz float64
+}
+
+// ExtensionThroughputStudy converts the serving experiment's
+// transmissivities into delivered entanglement rates: a platform source
+// emitting sourceRateHz pairs has a coincidence rate of
+// sourceRate × η_path at the endpoints. This is the rate axis the paper's
+// fidelity-only evaluation leaves out.
+func ExtensionThroughputStudy(p qntn.Params, nSats int, cfg qntn.ServeConfig, sourceRateHz float64) ([]ThroughputRow, error) {
+	type arch struct {
+		name  string
+		build func(qntn.Params) (*qntn.Scenario, error)
+	}
+	archs := []arch{
+		{qntn.SpaceGround.String(), func(pp qntn.Params) (*qntn.Scenario, error) { return qntn.NewSpaceGround(nSats, pp) }},
+		{qntn.AirGround.String(), qntn.NewAirGround},
+	}
+	var rows []ThroughputRow
+	for _, a := range archs {
+		sc, err := a.build(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.RunServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var served, all []float64
+		worst := -1.0
+		for _, o := range res.Metrics.Outcomes {
+			if o.Served {
+				rate := sourceRateHz * o.EndToEndEta
+				served = append(served, rate)
+				all = append(all, rate)
+				if worst < 0 || rate < worst {
+					worst = rate
+				}
+			} else {
+				all = append(all, 0)
+			}
+		}
+		if worst < 0 {
+			worst = 0
+		}
+		rows = append(rows, ThroughputRow{
+			Architecture:          a.name,
+			MeanServedPairRateHz:  stats.Mean(served),
+			MeanEffectiveRateHz:   stats.Mean(all),
+			WorstServedPairRateHz: worst,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,66 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// LLA is a geodetic position: latitude and longitude in degrees and altitude
+// above the spherical Earth surface in meters.
+type LLA struct {
+	LatDeg float64
+	LonDeg float64
+	AltM   float64
+}
+
+// String implements fmt.Stringer.
+func (p LLA) String() string {
+	return fmt.Sprintf("(%.5f°, %.5f°, %.0f m)", p.LatDeg, p.LonDeg, p.AltM)
+}
+
+// Radians returns the latitude and longitude of p in radians.
+func (p LLA) Radians() (lat, lon float64) {
+	return p.LatDeg * math.Pi / 180, p.LonDeg * math.Pi / 180
+}
+
+// ECEF converts p to Earth-centered Earth-fixed Cartesian coordinates on the
+// spherical Earth.
+func (p LLA) ECEF() Vec3 {
+	lat, lon := p.Radians()
+	r := EarthRadiusM + p.AltM
+	clat := math.Cos(lat)
+	return Vec3{
+		X: r * clat * math.Cos(lon),
+		Y: r * clat * math.Sin(lon),
+		Z: r * math.Sin(lat),
+	}
+}
+
+// ToLLA converts an ECEF position to geodetic coordinates on the spherical
+// Earth.
+func ToLLA(v Vec3) LLA {
+	r := v.Norm()
+	if r == 0 {
+		return LLA{}
+	}
+	lat := math.Asin(v.Z / r)
+	lon := math.Atan2(v.Y, v.X)
+	return LLA{
+		LatDeg: lat * 180 / math.Pi,
+		LonDeg: lon * 180 / math.Pi,
+		AltM:   r - EarthRadiusM,
+	}
+}
+
+// GreatCircleM returns the great-circle (surface) distance between two
+// geodetic positions in meters, ignoring altitude, using the haversine
+// formula.
+func GreatCircleM(a, b LLA) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dlat := lat2 - lat1
+	dlon := lon2 - lon1
+	s := math.Sin(dlat/2)*math.Sin(dlat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dlon/2)*math.Sin(dlon/2)
+	return 2 * EarthRadiusM * math.Asin(math.Min(1, math.Sqrt(s)))
+}

@@ -1,0 +1,92 @@
+package geo
+
+import "math"
+
+// LookAngle describes the geometry of a line-of-sight from an observer to a
+// target: azimuth (clockwise from north), elevation above the local horizon,
+// and the straight-line slant range.
+type LookAngle struct {
+	AzimuthRad   float64
+	ElevationRad float64
+	SlantRangeM  float64
+}
+
+// ENU returns the east, north, and up unit vectors of the local tangent
+// frame at geodetic position p (on the spherical Earth).
+func ENU(p LLA) (east, north, up Vec3) {
+	lat, lon := p.Radians()
+	sinLat, cosLat := math.Sin(lat), math.Cos(lat)
+	sinLon, cosLon := math.Sin(lon), math.Cos(lon)
+	east = Vec3{-sinLon, cosLon, 0}
+	north = Vec3{-sinLat * cosLon, -sinLat * sinLon, cosLat}
+	up = Vec3{cosLat * cosLon, cosLat * sinLon, sinLat}
+	return east, north, up
+}
+
+// Look computes the look angle from an observer at geodetic position obs to
+// a target at ECEF position target.
+func Look(obs LLA, target Vec3) LookAngle {
+	o := obs.ECEF()
+	d := target.Sub(o)
+	east, north, up := ENU(obs)
+	e := d.Dot(east)
+	n := d.Dot(north)
+	u := d.Dot(up)
+	rng := d.Norm()
+	la := LookAngle{SlantRangeM: rng}
+	if rng == 0 {
+		return la
+	}
+	la.ElevationRad = math.Asin(clamp(u/rng, -1, 1))
+	la.AzimuthRad = math.Atan2(e, n)
+	if la.AzimuthRad < 0 {
+		la.AzimuthRad += 2 * math.Pi
+	}
+	return la
+}
+
+// ElevationBetween computes the elevation of the line-of-sight between two
+// ECEF positions as seen from the lower endpoint. For two spaceborne nodes
+// (e.g. an inter-satellite link) this is the grazing elevation relative to
+// the lower node's local horizon; callers typically use it to decide whether
+// a path dips into the atmosphere.
+func ElevationBetween(a, b Vec3) float64 {
+	lo, hi := a, b
+	if lo.Norm() > hi.Norm() {
+		lo, hi = hi, lo
+	}
+	return Look(ToLLA(lo), hi).ElevationRad
+}
+
+// LineOfSight reports whether the straight segment between two ECEF
+// positions clears the Earth's surface (plus an optional clearance margin in
+// meters above the surface).
+func LineOfSight(a, b Vec3, clearanceM float64) bool {
+	r := EarthRadiusM + clearanceM
+	// Minimum distance from Earth's center to the segment a-b.
+	ab := b.Sub(a)
+	t := -a.Dot(ab) / ab.Dot(ab)
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	closest := a.Add(ab.Scale(t))
+	return closest.Norm() >= r
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

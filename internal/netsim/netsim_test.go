@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qntn/internal/geo"
+	"qntn/internal/orbit"
+)
+
+func TestSimulatorOrdersEvents(t *testing.T) {
+	s := NewSimulator()
+	var order []string
+	add := func(name string) func(*Simulator) {
+		return func(*Simulator) { order = append(order, name) }
+	}
+	if err := s.Schedule(30*time.Second, "b", add("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(10*time.Second, "a", add("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(30*time.Second, "c", add("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("execution order %v", order)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("final time %v", s.Now())
+	}
+	if s.Processed != 3 {
+		t.Fatalf("processed %d", s.Processed)
+	}
+}
+
+func TestSimulatorSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.Schedule(time.Second, "e", func(*Simulator) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSimulatorRejectsPastEvents(t *testing.T) {
+	s := NewSimulator()
+	if err := s.Schedule(time.Minute, "x", func(*Simulator) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(time.Second, "past", func(*Simulator) {}); err == nil {
+		t.Fatal("past event accepted")
+	}
+	if err := s.Schedule(time.Minute, "nil", nil); err == nil {
+		t.Fatal("nil event accepted")
+	}
+}
+
+func TestSimulatorRunUntilLeavesFutureEvents(t *testing.T) {
+	s := NewSimulator()
+	ran := 0
+	for _, at := range []time.Duration{time.Second, time.Hour} {
+		if err := s.Schedule(at, "e", func(*Simulator) { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 || s.Pending() != 1 {
+		t.Fatalf("ran=%d pending=%d", ran, s.Pending())
+	}
+	// Resume.
+	if err := s.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran=%d after resume", ran)
+	}
+}
+
+func TestSimulatorStop(t *testing.T) {
+	s := NewSimulator()
+	ran := 0
+	_ = s.Schedule(time.Second, "a", func(sim *Simulator) { ran++; sim.Stop() })
+	_ = s.Schedule(2*time.Second, "b", func(*Simulator) { ran++ })
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("stop did not halt the loop, ran=%d", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending=%d", s.Pending())
+	}
+}
+
+func TestSimulatorEventsCanSchedule(t *testing.T) {
+	s := NewSimulator()
+	var ticks []time.Duration
+	var tick func(*Simulator)
+	tick = func(sim *Simulator) {
+		ticks = append(ticks, sim.Now())
+		if sim.Now() < 90*time.Second {
+			_ = sim.Schedule(sim.Now()+30*time.Second, "tick", tick)
+		}
+	}
+	_ = s.Schedule(0, "tick", tick)
+	if err := s.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 30 * time.Second, 60 * time.Second, 90 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v", ticks)
+		}
+	}
+}
+
+func TestScheduleEvery(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	if err := s.ScheduleEvery(0, 30*time.Second, 5*time.Minute, "step", func(*Simulator) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Fatalf("step count %d, want 11", n)
+	}
+	if err := s.ScheduleEvery(0, 0, time.Minute, "bad", func(*Simulator) {}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestNodeKinds(t *testing.T) {
+	g := NewGroundHost("G1", "TTU", geo.LLA{LatDeg: 36.17, LonDeg: -85.5})
+	h := NewHAPNode("HAP-1", geo.LLA{LatDeg: 35.67, LonDeg: -85.07, AltM: 30e3})
+	sat := NewSatelliteNode("SAT-001", orbit.CircularLEO(500e3, 53, 0, 0))
+	if g.Kind() != Ground || h.Kind() != HAP || sat.Kind() != Satellite {
+		t.Fatal("node kinds wrong")
+	}
+	if g.Network() != "TTU" || h.Network() != "" || sat.Network() != "" {
+		t.Fatal("network attribution wrong")
+	}
+	if Ground.String() != "ground" || Satellite.String() != "satellite" || HAP.String() != "hap" {
+		t.Fatal("kind strings wrong")
+	}
+	// Ground and HAP do not move.
+	if g.PositionAt(0) != g.PositionAt(time.Hour) {
+		t.Fatal("ground host moved")
+	}
+	if h.PositionAt(0) != h.PositionAt(time.Hour) {
+		t.Fatal("HAP moved")
+	}
+	// HAP altitude is honored.
+	if alt := geo.ToLLA(h.PositionAt(0)).AltM; math.Abs(alt-30e3) > 1 {
+		t.Fatalf("HAP altitude %g", alt)
+	}
+	// Satellites move.
+	if sat.PositionAt(0) == sat.PositionAt(time.Minute) {
+		t.Fatal("satellite did not move")
+	}
+}
+
+func TestSatelliteFromSheetMatchesElements(t *testing.T) {
+	e := orbit.CircularLEO(500e3, 53, 60, 120)
+	sheet, err := orbit.GenerateSheet("S", e, time.Hour, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSheet := NewSatelliteFromSheet("S", sheet)
+	direct := NewSatelliteNode("S", e)
+	// At exact sample times the two agree.
+	for _, at := range []time.Duration{0, 30 * time.Second, 10 * time.Minute} {
+		d := fromSheet.PositionAt(at).Distance(direct.PositionAt(at))
+		if d > 1e-6 {
+			t.Fatalf("sheet/element mismatch %g m at %v", d, at)
+		}
+	}
+	// Between samples the sheet holds (zero-order), the direct propagation
+	// moves.
+	if fromSheet.PositionAt(31*time.Second) != fromSheet.PositionAt(59*time.Second) {
+		t.Fatal("sheet should hold between samples")
+	}
+}
+
+func TestNetworkAddAndSnapshot(t *testing.T) {
+	// Simple distance-threshold link model for testing.
+	model := LinkModelFunc(func(a, b Node, t time.Duration) (float64, bool) {
+		d := a.PositionAt(t).Distance(b.PositionAt(t))
+		if d < 100e3 {
+			return 0.9, true
+		}
+		return 0, false
+	})
+	n := NewNetwork(model)
+	near1 := NewGroundHost("A", "X", geo.LLA{LatDeg: 36, LonDeg: -85})
+	near2 := NewGroundHost("B", "X", geo.LLA{LatDeg: 36.1, LonDeg: -85})
+	far := NewGroundHost("C", "Y", geo.LLA{LatDeg: 40, LonDeg: -100})
+	for _, nd := range []Node{near1, near2, far} {
+		if err := n.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Add(NewGroundHost("A", "X", geo.LLA{})); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if n.NumNodes() != 3 || n.Node("B") != near2 || n.Node("zz") != nil {
+		t.Fatal("node lookup broken")
+	}
+	g, err := n.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("snapshot nodes %d", g.NumNodes())
+	}
+	if eta, ok := g.Eta("A", "B"); !ok || eta != 0.9 {
+		t.Fatalf("A-B edge %v,%v", eta, ok)
+	}
+	if _, ok := g.Eta("A", "C"); ok {
+		t.Fatal("far edge should not exist")
+	}
+	if len(n.ByKind(Ground)) != 3 || len(n.ByKind(Satellite)) != 0 {
+		t.Fatal("ByKind broken")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var m Metrics
+	if m.ServedFraction() != 0 || m.MeanServedFidelity() != 0 {
+		t.Fatal("empty metrics should be zero")
+	}
+	m.Record(Outcome{Request: Request{ID: 1}, Served: true, Fidelity: 0.9})
+	m.Record(Outcome{Request: Request{ID: 2}, Served: false})
+	m.Record(Outcome{Request: Request{ID: 3}, Served: true, Fidelity: 0.95})
+	if got := m.ServedFraction(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("served fraction %g", got)
+	}
+	if got := m.MeanServedFidelity(); math.Abs(got-0.925) > 1e-12 {
+		t.Fatalf("mean fidelity %g", got)
+	}
+}

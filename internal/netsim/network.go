@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/routing"
+)
+
+// LinkModel decides whether a usable quantum link exists between two nodes
+// at a given time, and with what transmissivity. Implementations combine
+// channel physics (fiber/FSO) with the gating policy (transmissivity
+// threshold, elevation mask, line of sight).
+type LinkModel interface {
+	// Evaluate returns the link transmissivity and whether the link is
+	// usable. The order of a and b is not significant.
+	Evaluate(a, b Node, t time.Duration) (eta float64, ok bool)
+}
+
+// LinkModelFunc adapts a function to the LinkModel interface.
+type LinkModelFunc func(a, b Node, t time.Duration) (float64, bool)
+
+// Evaluate implements LinkModel.
+func (f LinkModelFunc) Evaluate(a, b Node, t time.Duration) (float64, bool) {
+	return f(a, b, t)
+}
+
+// Network is the node container: an ordered set of hosts plus the link
+// model that induces the time-varying topology.
+type Network struct {
+	nodes []Node
+	byID  map[string]Node
+	model LinkModel
+}
+
+// NewNetwork returns an empty network using the given link model.
+func NewNetwork(model LinkModel) *Network {
+	return &Network{byID: make(map[string]Node), model: model}
+}
+
+// Add inserts a node; duplicate IDs are rejected.
+func (n *Network) Add(node Node) error {
+	if node == nil {
+		return fmt.Errorf("netsim: nil node")
+	}
+	if _, dup := n.byID[node.ID()]; dup {
+		return fmt.Errorf("netsim: duplicate node ID %q", node.ID())
+	}
+	n.nodes = append(n.nodes, node)
+	n.byID[node.ID()] = node
+	return nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id string) Node { return n.byID[id] }
+
+// Nodes returns the nodes in insertion order.
+func (n *Network) Nodes() []Node {
+	out := make([]Node, len(n.nodes))
+	copy(out, n.nodes)
+	return out
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// ByKind returns nodes of the given kind in insertion order.
+func (n *Network) ByKind(k NodeKind) []Node {
+	var out []Node
+	for _, node := range n.nodes {
+		if node.Kind() == k {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Snapshot evaluates every node pair at time t and returns the
+// transmissivity graph of usable links. All nodes appear in the graph even
+// if isolated, so routing can distinguish "unknown node" from
+// "unreachable".
+func (n *Network) Snapshot(t time.Duration) (*routing.Graph, error) {
+	g := routing.NewGraph()
+	for _, node := range n.nodes {
+		g.AddNode(node.ID())
+	}
+	for i := 0; i < len(n.nodes); i++ {
+		for j := i + 1; j < len(n.nodes); j++ {
+			if eta, ok := n.model.Evaluate(n.nodes[i], n.nodes[j], t); ok {
+				if err := g.AddEdge(n.nodes[i].ID(), n.nodes[j].ID(), eta); err != nil {
+					return nil, fmt.Errorf("netsim: snapshot at %v: %w", t, err)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Request is an entanglement distribution request between two hosts.
+type Request struct {
+	ID  int
+	Src string
+	Dst string
+}
+
+// Outcome records the result of attempting one request at one topology
+// step.
+type Outcome struct {
+	Request  Request
+	At       time.Duration
+	Served   bool
+	Fidelity float64
+	Path     []string
+	// EndToEndEta is the product of link transmissivities along Path.
+	EndToEndEta float64
+	// PathLengthM is the summed geometric length of the path's hops at
+	// the serving instant (0 when not computed by the experiment).
+	PathLengthM float64
+	// Latency is the heralding latency charged to the request (0 when
+	// the experiment does not model time).
+	Latency time.Duration
+}
+
+// Metrics accumulates outcomes across a run.
+type Metrics struct {
+	Outcomes []Outcome
+}
+
+// Record appends an outcome.
+func (m *Metrics) Record(o Outcome) { m.Outcomes = append(m.Outcomes, o) }
+
+// ServedFraction returns the fraction of recorded requests that were
+// served, or 0 when nothing was recorded.
+func (m *Metrics) ServedFraction() float64 {
+	if len(m.Outcomes) == 0 {
+		return 0
+	}
+	served := 0
+	for _, o := range m.Outcomes {
+		if o.Served {
+			served++
+		}
+	}
+	return float64(served) / float64(len(m.Outcomes))
+}
+
+// MeanServedFidelity returns the average fidelity over served requests (the
+// paper's "average entanglement fidelity for the resolved requests"), or 0
+// if none were served.
+func (m *Metrics) MeanServedFidelity() float64 {
+	var sum float64
+	n := 0
+	for _, o := range m.Outcomes {
+		if o.Served {
+			sum += o.Fidelity
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

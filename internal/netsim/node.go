@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/geo"
+	"qntn/internal/orbit"
+)
+
+// NodeKind discriminates the three host types of the paper's architecture.
+type NodeKind int
+
+const (
+	// Ground is a stationary quantum host connected by fiber within its
+	// local network.
+	Ground NodeKind = iota
+	// Satellite is a LEO relay following a movement sheet or orbit.
+	Satellite
+	// HAP is a high-altitude platform hovering at a fixed position.
+	HAP
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case Ground:
+		return "ground"
+	case Satellite:
+		return "satellite"
+	case HAP:
+		return "hap"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a network host with a (possibly time-dependent) position. It is
+// the netsim equivalent of QuNetSim's Host class extended with location
+// data, with Satellite and HAP specializations.
+type Node interface {
+	ID() string
+	Kind() NodeKind
+	// Network names the local network the node belongs to; relays
+	// (satellites, HAPs) return "".
+	Network() string
+	// PositionAt returns the ECEF position at virtual time t.
+	PositionAt(t time.Duration) geo.Vec3
+}
+
+// GroundHost is a stationary node of a local network.
+type GroundHost struct {
+	id      string
+	network string
+	pos     geo.LLA
+	ecef    geo.Vec3
+}
+
+// NewGroundHost builds a ground host at the given geodetic position.
+func NewGroundHost(id, network string, pos geo.LLA) *GroundHost {
+	return &GroundHost{id: id, network: network, pos: pos, ecef: pos.ECEF()}
+}
+
+// ID implements Node.
+func (g *GroundHost) ID() string { return g.id }
+
+// Kind implements Node.
+func (g *GroundHost) Kind() NodeKind { return Ground }
+
+// Network implements Node.
+func (g *GroundHost) Network() string { return g.network }
+
+// PositionAt implements Node; ground hosts do not move.
+func (g *GroundHost) PositionAt(time.Duration) geo.Vec3 { return g.ecef }
+
+// LLA returns the host's geodetic position.
+func (g *GroundHost) LLA() geo.LLA { return g.pos }
+
+// HAPNode is a high-altitude platform hovering at a fixed point, per the
+// paper's air-ground architecture.
+type HAPNode struct {
+	id   string
+	pos  geo.LLA
+	ecef geo.Vec3
+}
+
+// NewHAPNode builds a hovering HAP at the given geodetic position.
+func NewHAPNode(id string, pos geo.LLA) *HAPNode {
+	return &HAPNode{id: id, pos: pos, ecef: pos.ECEF()}
+}
+
+// ID implements Node.
+func (h *HAPNode) ID() string { return h.id }
+
+// Kind implements Node.
+func (h *HAPNode) Kind() NodeKind { return HAP }
+
+// Network implements Node.
+func (h *HAPNode) Network() string { return "" }
+
+// PositionAt implements Node; the HAP hovers in place.
+func (h *HAPNode) PositionAt(time.Duration) geo.Vec3 { return h.ecef }
+
+// LLA returns the platform's geodetic position.
+func (h *HAPNode) LLA() geo.LLA { return h.pos }
+
+// SatelliteNode follows a movement sheet (the paper's STK workflow) when
+// one is attached, or propagates its orbital elements directly.
+type SatelliteNode struct {
+	id    string
+	elems orbit.Elements
+	sheet *orbit.MovementSheet
+}
+
+// NewSatelliteNode builds a satellite that propagates the given elements
+// analytically.
+func NewSatelliteNode(id string, elems orbit.Elements) *SatelliteNode {
+	return &SatelliteNode{id: id, elems: elems}
+}
+
+// NewSatelliteFromSheet builds a satellite that replays a recorded movement
+// sheet (zero-order hold between samples), exactly like the paper's
+// upgraded QuNetSim consuming STK movement sheets.
+func NewSatelliteFromSheet(id string, sheet *orbit.MovementSheet) *SatelliteNode {
+	return &SatelliteNode{id: id, sheet: sheet}
+}
+
+// ID implements Node.
+func (s *SatelliteNode) ID() string { return s.id }
+
+// Kind implements Node.
+func (s *SatelliteNode) Kind() NodeKind { return Satellite }
+
+// Network implements Node.
+func (s *SatelliteNode) Network() string { return "" }
+
+// PositionAt implements Node.
+func (s *SatelliteNode) PositionAt(t time.Duration) geo.Vec3 {
+	if s.sheet != nil {
+		return s.sheet.At(t)
+	}
+	return s.elems.PositionECEF(t)
+}
+
+// Elements returns the satellite's orbital elements (zero value when the
+// node replays a sheet).
+func (s *SatelliteNode) Elements() orbit.Elements { return s.elems }

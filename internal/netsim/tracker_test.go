@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"qntn/internal/routing"
+)
+
+func graphWith(t *testing.T, edges map[[2]string]float64) *routing.Graph {
+	t.Helper()
+	g := routing.NewGraph()
+	for k, eta := range edges {
+		if err := g.AddEdge(k[0], k[1], eta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestLinkTrackerInitialObservation(t *testing.T) {
+	lt := NewLinkTracker()
+	g := graphWith(t, map[[2]string]float64{{"a", "b"}: 0.9, {"b", "c"}: 0.8})
+	batch := lt.Observe(0, g)
+	if len(batch) != 2 {
+		t.Fatalf("initial batch %v", batch)
+	}
+	for _, c := range batch {
+		if !c.Up || c.Eta == 0 {
+			t.Fatalf("initial change should be Up with eta: %+v", c)
+		}
+		if c.A >= c.B {
+			t.Fatalf("endpoints not ordered: %+v", c)
+		}
+	}
+	if lt.ActiveLinks() != 2 {
+		t.Fatalf("active links %d", lt.ActiveLinks())
+	}
+}
+
+func TestLinkTrackerDetectsTransitions(t *testing.T) {
+	lt := NewLinkTracker()
+	lt.Observe(0, graphWith(t, map[[2]string]float64{{"a", "b"}: 0.9}))
+
+	// b-c appears, a-b drops.
+	batch := lt.Observe(30*time.Second, graphWith(t, map[[2]string]float64{{"b", "c"}: 0.85}))
+	if len(batch) != 2 {
+		t.Fatalf("batch %v", batch)
+	}
+	var sawUp, sawDown bool
+	for _, c := range batch {
+		if c.At != 30*time.Second {
+			t.Fatalf("timestamp %v", c.At)
+		}
+		if c.Up && c.A == "b" && c.B == "c" && c.Eta == 0.85 {
+			sawUp = true
+		}
+		if !c.Up && c.A == "a" && c.B == "b" {
+			sawDown = true
+		}
+	}
+	if !sawUp || !sawDown {
+		t.Fatalf("missing transitions: %+v", batch)
+	}
+	if lt.FlapCount("a", "b") != 2 { // up at 0, down at 30s
+		t.Fatalf("a-b flap count %d", lt.FlapCount("a", "b"))
+	}
+	if lt.FlapCount("b", "a") != lt.FlapCount("a", "b") {
+		t.Fatal("flap count should ignore endpoint order")
+	}
+}
+
+func TestLinkTrackerStableTopologyNoChanges(t *testing.T) {
+	lt := NewLinkTracker()
+	g := graphWith(t, map[[2]string]float64{{"a", "b"}: 0.9})
+	lt.Observe(0, g)
+	if batch := lt.Observe(time.Minute, g); len(batch) != 0 {
+		t.Fatalf("stable topology produced changes: %v", batch)
+	}
+	if got := len(lt.Changes()); got != 1 {
+		t.Fatalf("total changes %d", got)
+	}
+}
+
+func TestLinkTrackerOnScenarioChurn(t *testing.T) {
+	// Eta changes alone (same link staying up) are not transitions.
+	lt := NewLinkTracker()
+	lt.Observe(0, graphWith(t, map[[2]string]float64{{"a", "b"}: 0.9}))
+	if batch := lt.Observe(time.Minute, graphWith(t, map[[2]string]float64{{"a", "b"}: 0.7})); len(batch) != 0 {
+		t.Fatalf("eta drift recorded as transition: %v", batch)
+	}
+}

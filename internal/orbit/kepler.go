@@ -1,0 +1,238 @@
+// Package orbit implements the orbital-mechanics substrate that replaces the
+// Ansys STK workflow described in the paper: Keplerian two-body propagation
+// of circular low-Earth orbits, Earth rotation via a simplified Greenwich
+// sidereal angle, the Walker-Delta constellation builder, the paper's exact
+// Table II satellite catalog, and generation of 30-second "movement sheets"
+// (sequences of ECEF positions) that drive the network simulator.
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+// MuEarth is the standard gravitational parameter of Earth in m^3/s^2.
+const MuEarth = 3.986004418e14
+
+// EarthRotationRate is Earth's sidereal rotation rate in rad/s.
+const EarthRotationRate = 7.2921150e-5
+
+// J2 is Earth's second zonal harmonic coefficient, driving the secular
+// nodal regression and apsidal rotation of LEO orbits.
+const J2 = 1.08262668e-3
+
+// Elements is a set of classical Keplerian orbital elements at epoch t=0.
+// Angles are in radians. For the circular orbits used throughout the paper
+// the eccentricity is zero and the argument of perigee is conventionally
+// zero, with TrueAnomaly measured from the ascending node.
+type Elements struct {
+	SemiMajorAxisM float64
+	Eccentricity   float64
+	InclinationRad float64
+	RAANRad        float64 // right ascension of the ascending node
+	ArgPerigeeRad  float64
+	TrueAnomalyRad float64 // at epoch
+	// ApplyJ2 enables the secular J2 corrections (nodal regression,
+	// apsidal rotation, mean-anomaly drift) that STK's default propagator
+	// applies. The paper's geometry is insensitive to J2 over a single
+	// day (the whole constellation pattern precesses together), which the
+	// test suite verifies — hence two-body remains the default.
+	ApplyJ2 bool
+}
+
+// NodalRegressionRate returns the secular RAAN drift dΩ/dt in rad/s due to
+// J2 (negative for prograde orbits).
+func (e Elements) NodalRegressionRate() float64 {
+	n := e.MeanMotion()
+	p := e.SemiMajorAxisM * (1 - e.Eccentricity*e.Eccentricity)
+	ratio := geo.EarthRadiusM / p
+	return -1.5 * n * J2 * ratio * ratio * math.Cos(e.InclinationRad)
+}
+
+// ApsidalRotationRate returns the secular argument-of-perigee drift dω/dt
+// in rad/s due to J2.
+func (e Elements) ApsidalRotationRate() float64 {
+	n := e.MeanMotion()
+	p := e.SemiMajorAxisM * (1 - e.Eccentricity*e.Eccentricity)
+	ratio := geo.EarthRadiusM / p
+	s := math.Sin(e.InclinationRad)
+	return 0.75 * n * J2 * ratio * ratio * (4 - 5*s*s)
+}
+
+// meanMotionJ2Correction returns the secular mean-anomaly rate correction
+// due to J2 in rad/s.
+func (e Elements) meanMotionJ2Correction() float64 {
+	n := e.MeanMotion()
+	p := e.SemiMajorAxisM * (1 - e.Eccentricity*e.Eccentricity)
+	ratio := geo.EarthRadiusM / p
+	s := math.Sin(e.InclinationRad)
+	return 0.75 * n * J2 * ratio * ratio * math.Sqrt(1-e.Eccentricity*e.Eccentricity) * (2 - 3*s*s)
+}
+
+// atEpoch returns the osculating elements advanced by the secular J2 rates
+// to time t (identity when ApplyJ2 is false).
+func (e Elements) atEpoch(t time.Duration) Elements {
+	if !e.ApplyJ2 {
+		return e
+	}
+	dt := t.Seconds()
+	out := e
+	out.RAANRad = math.Mod(e.RAANRad+e.NodalRegressionRate()*dt, 2*math.Pi)
+	out.ArgPerigeeRad = math.Mod(e.ArgPerigeeRad+e.ApsidalRotationRate()*dt, 2*math.Pi)
+	return out
+}
+
+// Validate reports whether the elements describe a propagatable orbit.
+func (e Elements) Validate() error {
+	if e.SemiMajorAxisM <= geo.EarthRadiusM {
+		return fmt.Errorf("orbit: semi-major axis %.0f m is inside the Earth", e.SemiMajorAxisM)
+	}
+	if e.Eccentricity < 0 || e.Eccentricity >= 1 {
+		return fmt.Errorf("%w: eccentricity %.3f", ErrHyperbolic, e.Eccentricity)
+	}
+	return nil
+}
+
+// Period returns the orbital period.
+func (e Elements) Period() time.Duration {
+	n := e.MeanMotion()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(2 * math.Pi / n * float64(time.Second))
+}
+
+// MeanMotion returns the mean motion in rad/s.
+func (e Elements) MeanMotion() float64 {
+	a := e.SemiMajorAxisM
+	if a <= 0 {
+		return 0
+	}
+	return math.Sqrt(MuEarth / (a * a * a))
+}
+
+// ErrHyperbolic is returned when propagation is requested for an orbit with
+// eccentricity outside [0,1).
+var ErrHyperbolic = errors.New("orbit: eccentricity outside [0,1)")
+
+// PositionECI returns the inertial position of the satellite at time t after
+// epoch. For eccentric orbits Kepler's equation is solved by Newton
+// iteration; the circular case is exact.
+func (e Elements) PositionECI(t time.Duration) geo.Vec3 {
+	osc := e.atEpoch(t)
+	nu := e.trueAnomalyAt(t)
+	r := e.radiusAt(nu)
+
+	// Perifocal coordinates measured from the ascending node: the in-plane
+	// angle is argument of perigee + true anomaly.
+	u := osc.ArgPerigeeRad + nu
+	cosU, sinU := math.Cos(u), math.Sin(u)
+	cosO, sinO := math.Cos(osc.RAANRad), math.Sin(osc.RAANRad)
+	cosI, sinI := math.Cos(e.InclinationRad), math.Sin(e.InclinationRad)
+
+	return geo.Vec3{
+		X: r * (cosO*cosU - sinO*sinU*cosI),
+		Y: r * (sinO*cosU + cosO*sinU*cosI),
+		Z: r * (sinU * sinI),
+	}
+}
+
+// PositionECEF returns the Earth-fixed position of the satellite at time t
+// after epoch, rotating the inertial frame by the Greenwich sidereal angle.
+func (e Elements) PositionECEF(t time.Duration) geo.Vec3 {
+	eci := e.PositionECI(t)
+	theta := GMST(t)
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	// ECEF = Rz(theta) * ECI with theta the Earth rotation angle.
+	return geo.Vec3{
+		X: cosT*eci.X + sinT*eci.Y,
+		Y: -sinT*eci.X + cosT*eci.Y,
+		Z: eci.Z,
+	}
+}
+
+// SubsatellitePoint returns the geodetic point directly beneath the
+// satellite at time t.
+func (e Elements) SubsatellitePoint(t time.Duration) geo.LLA {
+	p := geo.ToLLA(e.PositionECEF(t))
+	return p
+}
+
+// trueAnomalyAt returns the true anomaly at time t after epoch.
+func (e Elements) trueAnomalyAt(t time.Duration) float64 {
+	n := e.MeanMotion()
+	if e.ApplyJ2 {
+		n += e.meanMotionJ2Correction()
+	}
+	dt := t.Seconds()
+	if e.Eccentricity == 0 {
+		return math.Mod(e.TrueAnomalyRad+n*dt, 2*math.Pi)
+	}
+	// Convert epoch true anomaly to mean anomaly, advance, convert back.
+	m0 := trueToMean(e.TrueAnomalyRad, e.Eccentricity)
+	m := math.Mod(m0+n*dt, 2*math.Pi)
+	ea := solveKepler(m, e.Eccentricity)
+	return eccentricToTrue(ea, e.Eccentricity)
+}
+
+func (e Elements) radiusAt(nu float64) float64 {
+	a, ecc := e.SemiMajorAxisM, e.Eccentricity
+	if ecc == 0 {
+		return a
+	}
+	return a * (1 - ecc*ecc) / (1 + ecc*math.Cos(nu))
+}
+
+func trueToMean(nu, ecc float64) float64 {
+	ea := 2 * math.Atan2(math.Sqrt(1-ecc)*math.Sin(nu/2), math.Sqrt(1+ecc)*math.Cos(nu/2))
+	return ea - ecc*math.Sin(ea)
+}
+
+func eccentricToTrue(ea, ecc float64) float64 {
+	return 2 * math.Atan2(math.Sqrt(1+ecc)*math.Sin(ea/2), math.Sqrt(1-ecc)*math.Cos(ea/2))
+}
+
+// solveKepler solves M = E - e sin E for E by Newton iteration.
+func solveKepler(m, ecc float64) float64 {
+	ea := m
+	if ecc > 0.8 {
+		ea = math.Pi
+	}
+	for i := 0; i < 50; i++ {
+		f := ea - ecc*math.Sin(ea) - m
+		fp := 1 - ecc*math.Cos(ea)
+		d := f / fp
+		ea -= d
+		if math.Abs(d) < 1e-14 {
+			break
+		}
+	}
+	return ea
+}
+
+// GMST returns the simplified Greenwich mean sidereal angle at time t after
+// the simulation epoch. The epoch is arbitrary (the paper simulates "a day"
+// with no absolute date), so the angle is simply Earth's rotation rate times
+// elapsed time.
+func GMST(t time.Duration) float64 {
+	return math.Mod(EarthRotationRate*t.Seconds(), 2*math.Pi)
+}
+
+// CircularLEO returns circular-orbit elements at the given altitude,
+// inclination, RAAN, and true anomaly (all angles in degrees), matching the
+// paper's constellation convention (500 km altitude, 53 degrees
+// inclination).
+func CircularLEO(altitudeM, inclinationDeg, raanDeg, trueAnomalyDeg float64) Elements {
+	return Elements{
+		SemiMajorAxisM: geo.EarthRadiusM + altitudeM,
+		Eccentricity:   0,
+		InclinationRad: geo.Rad(inclinationDeg),
+		RAANRad:        geo.Rad(raanDeg),
+		ArgPerigeeRad:  0,
+		TrueAnomalyRad: geo.Rad(trueAnomalyDeg),
+	}
+}

@@ -1,0 +1,85 @@
+package orbit
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+// Pass is one visibility window of a satellite over an observer.
+type Pass struct {
+	// Start and End bound the window during which elevation stays at or
+	// above the mask (half-open, aligned to the sampling step).
+	Start time.Duration
+	End   time.Duration
+	// MaxElevationRad is the peak elevation during the pass.
+	MaxElevationRad float64
+	// MaxElevationAt is when the peak occurs.
+	MaxElevationAt time.Duration
+	// MinRangeM is the closest slant range during the pass.
+	MinRangeM float64
+}
+
+// Duration returns the pass length.
+func (p Pass) Duration() time.Duration { return p.End - p.Start }
+
+// Passes predicts the visibility windows of a satellite over a ground
+// observer within [0, window), sampling every step and applying the given
+// minimum elevation mask. It is the pass-prediction feature STK provides in
+// the paper's workflow.
+func Passes(e Elements, observer geo.LLA, minElevationRad float64, window, step time.Duration) ([]Pass, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("orbit: non-positive step %v", step)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("orbit: non-positive window %v", window)
+	}
+	var passes []Pass
+	var cur *Pass
+	for t := time.Duration(0); t < window; t += step {
+		look := geo.Look(observer, e.PositionECEF(t))
+		visible := look.ElevationRad >= minElevationRad
+		switch {
+		case visible && cur == nil:
+			passes = append(passes, Pass{
+				Start:           t,
+				End:             t + step,
+				MaxElevationRad: look.ElevationRad,
+				MaxElevationAt:  t,
+				MinRangeM:       look.SlantRangeM,
+			})
+			cur = &passes[len(passes)-1]
+		case visible:
+			cur.End = t + step
+			if look.ElevationRad > cur.MaxElevationRad {
+				cur.MaxElevationRad = look.ElevationRad
+				cur.MaxElevationAt = t
+			}
+			if look.SlantRangeM < cur.MinRangeM {
+				cur.MinRangeM = look.SlantRangeM
+			}
+		default:
+			cur = nil
+		}
+	}
+	return passes, nil
+}
+
+// NextPass returns the first pass starting at or after `after`, or false if
+// none occurs within the window.
+func NextPass(e Elements, observer geo.LLA, minElevationRad float64, after, window, step time.Duration) (Pass, bool, error) {
+	passes, err := Passes(e, observer, minElevationRad, window, step)
+	if err != nil {
+		return Pass{}, false, err
+	}
+	for _, p := range passes {
+		if p.Start >= after {
+			return p, true, nil
+		}
+	}
+	return Pass{}, false, nil
+}

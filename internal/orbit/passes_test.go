@@ -1,0 +1,103 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+var ttu = geo.LLA{LatDeg: 36.1757, LonDeg: -85.5066}
+
+func TestPassesOverTennessee(t *testing.T) {
+	e := paperOrbit()
+	passes, err := Passes(e, ttu, geo.Rad(20), Day, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) == 0 {
+		t.Fatal("no passes in a day — implausible for a 53° LEO over 36°N")
+	}
+	for i, p := range passes {
+		if p.End <= p.Start {
+			t.Fatalf("pass %d degenerate: %+v", i, p)
+		}
+		// A 500 km LEO pass above a 20° mask lasts a few minutes at most.
+		if p.Duration() > 10*time.Minute {
+			t.Fatalf("pass %d lasts %v — too long for LEO", i, p.Duration())
+		}
+		if p.MaxElevationRad < geo.Rad(20) || p.MaxElevationRad > math.Pi/2+1e-9 {
+			t.Fatalf("pass %d max elevation %g°", i, geo.Deg(p.MaxElevationRad))
+		}
+		if p.MaxElevationAt < p.Start || p.MaxElevationAt >= p.End {
+			t.Fatalf("pass %d peak outside window", i)
+		}
+		// Closest approach cannot be below the altitude or above the
+		// 20°-mask slant bound.
+		if p.MinRangeM < PaperAltitudeM-1e3 || p.MinRangeM > 1.3e6 {
+			t.Fatalf("pass %d min range %g km", i, p.MinRangeM/1000)
+		}
+		if i > 0 && p.Start < passes[i-1].End {
+			t.Fatalf("passes overlap: %+v then %+v", passes[i-1], p)
+		}
+	}
+}
+
+func TestPassesHigherMaskFewerOrShorter(t *testing.T) {
+	e := paperOrbit()
+	low, err := Passes(e, ttu, geo.Rad(10), Day, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Passes(e, ttu, geo.Rad(40), Day, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(ps []Pass) time.Duration {
+		var d time.Duration
+		for _, p := range ps {
+			d += p.Duration()
+		}
+		return d
+	}
+	if total(high) >= total(low) {
+		t.Fatalf("40° mask visibility %v not below 10° mask %v", total(high), total(low))
+	}
+}
+
+func TestPassesRejectsBadInput(t *testing.T) {
+	e := paperOrbit()
+	if _, err := Passes(e, ttu, 0.1, Day, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Passes(e, ttu, 0.1, 0, time.Second); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := Passes(Elements{SemiMajorAxisM: 1}, ttu, 0.1, Day, time.Minute); err == nil {
+		t.Fatal("invalid orbit accepted")
+	}
+}
+
+func TestNextPass(t *testing.T) {
+	e := paperOrbit()
+	all, err := Passes(e, ttu, geo.Rad(20), Day, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Skip("need at least two passes for this test")
+	}
+	// Asking after the first pass must return the second.
+	p, ok, err := NextPass(e, ttu, geo.Rad(20), all[0].End, Day, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || p.Start != all[1].Start {
+		t.Fatalf("next pass %+v, want %+v", p, all[1])
+	}
+	// Asking beyond the window returns none.
+	if _, ok, err := NextPass(e, ttu, geo.Rad(20), Day, Day, 30*time.Second); err != nil || ok {
+		t.Fatalf("expected no pass after the window, got ok=%v err=%v", ok, err)
+	}
+}

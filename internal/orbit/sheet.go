@@ -1,0 +1,92 @@
+package orbit
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/geo"
+)
+
+// DefaultSampleInterval is the 30-second sampling interval the paper uses
+// when recording satellite positions with STK.
+const DefaultSampleInterval = 30 * time.Second
+
+// Day is the simulated duration of the paper's experiments.
+const Day = 24 * time.Hour
+
+// Sample is one row of a movement sheet: a timestamp and the satellite's
+// Earth-fixed position at that time.
+type Sample struct {
+	T    time.Duration
+	ECEF geo.Vec3
+}
+
+// MovementSheet is the sequence of sampled positions for one satellite over
+// the simulated period — the in-memory equivalent of the "movement sheets"
+// the paper exports from STK and imports into its upgraded QuNetSim.
+type MovementSheet struct {
+	Name     string
+	Interval time.Duration
+	Samples  []Sample
+}
+
+// GenerateSheet propagates the orbit and samples its ECEF position every
+// interval from t=0 through duration (inclusive of the final sample).
+func GenerateSheet(name string, e Elements, duration, interval time.Duration) (*MovementSheet, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("orbit: non-positive sample interval %v", interval)
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("orbit: negative duration %v", duration)
+	}
+	n := int(duration/interval) + 1
+	sheet := &MovementSheet{Name: name, Interval: interval, Samples: make([]Sample, 0, n)}
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * interval
+		sheet.Samples = append(sheet.Samples, Sample{T: t, ECEF: e.PositionECEF(t)})
+	}
+	return sheet, nil
+}
+
+// At returns the position at time t, holding the most recent sample
+// (zero-order hold, matching the paper's stepwise satellite movement where a
+// thread moves the satellite to the next recorded position). Times beyond
+// the sheet clamp to the final sample; negative times clamp to the first.
+func (s *MovementSheet) At(t time.Duration) geo.Vec3 {
+	if len(s.Samples) == 0 {
+		return geo.Vec3{}
+	}
+	if t <= 0 {
+		return s.Samples[0].ECEF
+	}
+	i := int(t / s.Interval)
+	if i >= len(s.Samples) {
+		i = len(s.Samples) - 1
+	}
+	return s.Samples[i].ECEF
+}
+
+// Duration returns the time span covered by the sheet.
+func (s *MovementSheet) Duration() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].T
+}
+
+// GenerateSheets builds one movement sheet per constellation member. Names
+// are "SAT-001", "SAT-002", ... in catalog order.
+func GenerateSheets(elems []Elements, duration, interval time.Duration) ([]*MovementSheet, error) {
+	sheets := make([]*MovementSheet, 0, len(elems))
+	for i, e := range elems {
+		sh, err := GenerateSheet(fmt.Sprintf("SAT-%03d", i+1), e, duration, interval)
+		if err != nil {
+			return nil, fmt.Errorf("satellite %d: %w", i+1, err)
+		}
+		sheets = append(sheets, sh)
+	}
+	return sheets, nil
+}

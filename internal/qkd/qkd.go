@@ -1,0 +1,231 @@
+// Package qkd estimates quantum key distribution rates over the QNTN's
+// optical channels: weak-coherent-pulse BB84 with the infinite-decoy GLLP
+// secret fraction, and entanglement-based BBM92 fed by the same two-qubit
+// states the entanglement-distribution experiments produce.
+//
+// The paper's related work frames regional quantum networking almost
+// entirely through QKD services; this package makes the QNTN architectures
+// directly comparable on that axis.
+package qkd
+
+import (
+	"fmt"
+	"math"
+
+	"qntn/internal/quantum"
+)
+
+// DetectorParams lumps the transmitter/receiver hardware of a QKD link.
+type DetectorParams struct {
+	// GateRateHz is the pulse (BB84) or pair-generation (BBM92) rate.
+	GateRateHz float64
+	// MeanPhotonNumber is the WCP intensity μ for BB84.
+	MeanPhotonNumber float64
+	// DarkCountProbability is the per-gate dark/background click
+	// probability Y0.
+	DarkCountProbability float64
+	// MisalignmentError is the intrinsic optical error probability.
+	MisalignmentError float64
+	// ErrorCorrectionEfficiency is the f ≥ 1 inefficiency factor of the
+	// error-correcting code.
+	ErrorCorrectionEfficiency float64
+}
+
+// DefaultDetector returns parameters typical of satellite-QKD literature:
+// 100 MHz source, μ = 0.5, 10⁻⁶ dark probability, 1% misalignment,
+// f = 1.16 (CASCADE).
+func DefaultDetector() DetectorParams {
+	return DetectorParams{
+		GateRateHz:                100e6,
+		MeanPhotonNumber:          0.5,
+		DarkCountProbability:      1e-6,
+		MisalignmentError:         0.01,
+		ErrorCorrectionEfficiency: 1.16,
+	}
+}
+
+// Validate reports whether the parameters are physical.
+func (d DetectorParams) Validate() error {
+	switch {
+	case d.GateRateHz <= 0:
+		return fmt.Errorf("qkd: non-positive gate rate %g", d.GateRateHz)
+	case d.MeanPhotonNumber <= 0:
+		return fmt.Errorf("qkd: non-positive mean photon number %g", d.MeanPhotonNumber)
+	case d.DarkCountProbability < 0 || d.DarkCountProbability >= 1:
+		return fmt.Errorf("qkd: dark count probability %g outside [0,1)", d.DarkCountProbability)
+	case d.MisalignmentError < 0 || d.MisalignmentError > 0.5:
+		return fmt.Errorf("qkd: misalignment error %g outside [0,0.5]", d.MisalignmentError)
+	case d.ErrorCorrectionEfficiency < 1:
+		return fmt.Errorf("qkd: error correction efficiency %g below 1", d.ErrorCorrectionEfficiency)
+	}
+	return nil
+}
+
+// BinaryEntropy returns H2(p) in bits, 0 at p ∈ {0, 1}.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// BB84Result itemizes a decoy-state BB84 key-rate estimate.
+type BB84Result struct {
+	// Gain is the overall click probability per gate Q_μ.
+	Gain float64
+	// QBER is the overall quantum bit error rate E_μ.
+	QBER float64
+	// SingleGain and SingleQBER are the single-photon contributions
+	// (infinite-decoy estimates).
+	SingleGain float64
+	SingleQBER float64
+	// SiftedRateHz is the post-basis-sifting bit rate.
+	SiftedRateHz float64
+	// SecretFraction is the GLLP fraction r (clamped at 0).
+	SecretFraction float64
+	// SecretKeyRateHz is the asymptotic secret key rate.
+	SecretKeyRateHz float64
+}
+
+// BB84 evaluates the asymptotic decoy-state BB84 key rate over a channel
+// with total transmissivity eta (including receiver efficiency), using the
+// standard GLLP formula with infinite-decoy single-photon estimates:
+//
+//	Q_μ = Y0 + 1 − e^(−ημ)
+//	E_μ = (½·Y0 + e_mis·(1 − e^(−ημ))) / Q_μ
+//	Y1 = Y0 + η,  Q1 = Y1·μ·e^(−μ),  e1 = (½·Y0 + e_mis·η) / Y1
+//	r  = (Q1/Q_μ)(1 − H2(e1)) − f·H2(E_μ)
+func BB84(eta float64, d DetectorParams) (BB84Result, error) {
+	if err := d.Validate(); err != nil {
+		return BB84Result{}, err
+	}
+	if eta < 0 || eta > 1 || math.IsNaN(eta) {
+		return BB84Result{}, fmt.Errorf("qkd: transmissivity %g outside [0,1]", eta)
+	}
+	y0 := d.DarkCountProbability
+	mu := d.MeanPhotonNumber
+	sig := 1 - math.Exp(-eta*mu)
+
+	var res BB84Result
+	res.Gain = y0 + sig
+	if res.Gain <= 0 {
+		return res, nil
+	}
+	res.QBER = (0.5*y0 + d.MisalignmentError*sig) / res.Gain
+
+	y1 := y0 + eta
+	res.SingleGain = y1 * mu * math.Exp(-mu)
+	if y1 > 0 {
+		res.SingleQBER = (0.5*y0 + d.MisalignmentError*eta) / y1
+	}
+
+	res.SiftedRateHz = 0.5 * d.GateRateHz * res.Gain
+	r := (res.SingleGain/res.Gain)*(1-BinaryEntropy(res.SingleQBER)) -
+		d.ErrorCorrectionEfficiency*BinaryEntropy(res.QBER)
+	if r < 0 {
+		r = 0
+	}
+	res.SecretFraction = r
+	res.SecretKeyRateHz = res.SiftedRateHz * r
+	return res, nil
+}
+
+// QBERFromState returns the Z- and X-basis error rates of a shared
+// two-qubit state: the probability the two parties' measurement outcomes
+// disagree in each basis.
+func QBERFromState(rho *quantum.Matrix) (ez, ex float64, err error) {
+	if rho.N != 4 {
+		return 0, 0, fmt.Errorf("qkd: QBER needs a 2-qubit state, got dim %d", rho.N)
+	}
+	// Z basis: populations of |01> and |10>.
+	ez = real(rho.At(1, 1)) + real(rho.At(2, 2))
+	// X basis: rotate both qubits by Hadamard, then the same populations.
+	h := quantum.Lift(quantum.Hadamard(), 0, 2).Mul(quantum.Lift(quantum.Hadamard(), 1, 2))
+	rx := quantum.ApplyUnitary(rho, h)
+	ex = real(rx.At(1, 1)) + real(rx.At(2, 2))
+	return clamp01(ez), clamp01(ex), nil
+}
+
+// BBM92Result itemizes an entanglement-based key-rate estimate.
+type BBM92Result struct {
+	PairRateHz      float64
+	QBERz           float64
+	QBERx           float64
+	SiftedRateHz    float64
+	SecretFraction  float64
+	SecretKeyRateHz float64
+}
+
+// BBM92 evaluates the asymptotic entanglement-based (BBM92) key rate for a
+// shared state rho delivered at pairRateHz, with the standard
+// r = 1 − f·H2(ez) − H2(ex) secret fraction.
+func BBM92(rho *quantum.Matrix, pairRateHz float64, d DetectorParams) (BBM92Result, error) {
+	if err := d.Validate(); err != nil {
+		return BBM92Result{}, err
+	}
+	if pairRateHz < 0 {
+		return BBM92Result{}, fmt.Errorf("qkd: negative pair rate %g", pairRateHz)
+	}
+	ez, ex, err := QBERFromState(rho)
+	if err != nil {
+		return BBM92Result{}, err
+	}
+	res := BBM92Result{PairRateHz: pairRateHz, QBERz: ez, QBERx: ex}
+	res.SiftedRateHz = 0.5 * pairRateHz
+	r := 1 - d.ErrorCorrectionEfficiency*BinaryEntropy(ez) - BinaryEntropy(ex)
+	if r < 0 {
+		r = 0
+	}
+	res.SecretFraction = r
+	res.SecretKeyRateHz = res.SiftedRateHz * r
+	return res, nil
+}
+
+// RelayBBM92 evaluates BBM92 for a platform entanglement source beaming
+// one photon down each arm with transmissivities eta1 and eta2: the pair
+// delivery rate is GateRate·η1·η2 and the shared state is the doubly
+// amplitude-damped Bell pair renormalized on coincidence.
+//
+// Post-selecting on both photons arriving removes the loss-induced vacuum
+// component, so the coincidence state is the Bell pair itself up to the
+// misalignment error, which is applied as independent bit-flip noise.
+func RelayBBM92(eta1, eta2 float64, d DetectorParams) (BBM92Result, error) {
+	if err := d.Validate(); err != nil {
+		return BBM92Result{}, err
+	}
+	for _, e := range []float64{eta1, eta2} {
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return BBM92Result{}, fmt.Errorf("qkd: transmissivity %g outside [0,1]", e)
+		}
+	}
+	rho := quantum.PhiPlus().Density()
+	// Misalignment as independent depolarizing-like bit flips on each arm
+	// with probability e_mis.
+	rho = flipNoise(rho, d.MisalignmentError)
+	pairRate := d.GateRateHz * eta1 * eta2
+	return BBM92(rho, pairRate, d)
+}
+
+// flipNoise applies independent X flips with probability p to both qubits.
+func flipNoise(rho *quantum.Matrix, p float64) *quantum.Matrix {
+	if p <= 0 {
+		return rho
+	}
+	x := quantum.PauliX()
+	for q := 0; q < 2; q++ {
+		xq := quantum.Lift(x, q, 2)
+		flipped := quantum.ApplyUnitary(rho, xq)
+		rho = rho.Scale(complex(1-p, 0)).Add(flipped.Scale(complex(p, 0)))
+	}
+	return rho
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,245 @@
+package qkd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qntn/internal/quantum"
+)
+
+func TestBinaryEntropy(t *testing.T) {
+	cases := map[float64]float64{
+		0:    0,
+		1:    0,
+		0.5:  1,
+		0.11: 0.49992, // standard QKD threshold neighborhood
+	}
+	for p, want := range cases {
+		if got := BinaryEntropy(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("H2(%g) = %g, want %g", p, got, want)
+		}
+	}
+	// Symmetry H2(p) = H2(1-p).
+	for _, p := range []float64{0.1, 0.25, 0.4} {
+		if math.Abs(BinaryEntropy(p)-BinaryEntropy(1-p)) > 1e-12 {
+			t.Errorf("H2 not symmetric at %g", p)
+		}
+	}
+}
+
+func TestDetectorValidate(t *testing.T) {
+	if err := DefaultDetector().Validate(); err != nil {
+		t.Fatalf("default detector invalid: %v", err)
+	}
+	bad := []DetectorParams{
+		{},
+		{GateRateHz: 1e6},
+		{GateRateHz: 1e6, MeanPhotonNumber: 0.5, DarkCountProbability: 2},
+		{GateRateHz: 1e6, MeanPhotonNumber: 0.5, MisalignmentError: 0.9, ErrorCorrectionEfficiency: 1.1},
+		{GateRateHz: 1e6, MeanPhotonNumber: 0.5, ErrorCorrectionEfficiency: 0.5},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad detector %d accepted", i)
+		}
+	}
+}
+
+func TestBB84HighTransmissivity(t *testing.T) {
+	res, err := BB84(0.9, DefaultDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecretKeyRateHz <= 0 {
+		t.Fatal("high-transmissivity link should produce key")
+	}
+	// QBER should be close to the misalignment floor.
+	if res.QBER < 0.009 || res.QBER > 0.02 {
+		t.Fatalf("QBER %g, want near the 1%% misalignment floor", res.QBER)
+	}
+	if res.SiftedRateHz > DefaultDetector().GateRateHz/2 {
+		t.Fatal("sifted rate cannot exceed half the gate rate")
+	}
+}
+
+func TestBB84MonotoneInEta(t *testing.T) {
+	d := DefaultDetector()
+	prev := -1.0
+	for eta := 0.05; eta <= 1.0001; eta += 0.05 {
+		res, err := BB84(math.Min(eta, 1), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SecretKeyRateHz < prev {
+			t.Fatalf("key rate not monotone at eta=%g", eta)
+		}
+		prev = res.SecretKeyRateHz
+	}
+}
+
+func TestBB84DarkCountFloorKillsKey(t *testing.T) {
+	// When dark counts dominate the signal the QBER approaches 50% and
+	// the key rate collapses to zero.
+	d := DefaultDetector()
+	d.DarkCountProbability = 1e-3
+	res, err := BB84(1e-6, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecretKeyRateHz != 0 {
+		t.Fatalf("dark-count-dominated link produced key: %+v", res)
+	}
+	if res.QBER < 0.4 {
+		t.Fatalf("QBER %g, want near 0.5", res.QBER)
+	}
+}
+
+func TestBB84RejectsBadEta(t *testing.T) {
+	for _, eta := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := BB84(eta, DefaultDetector()); err == nil {
+			t.Errorf("eta=%v accepted", eta)
+		}
+	}
+}
+
+func TestBB84ZeroChannel(t *testing.T) {
+	d := DefaultDetector()
+	d.DarkCountProbability = 0
+	res, err := BB84(0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain != 0 || res.SecretKeyRateHz != 0 {
+		t.Fatalf("dead channel produced clicks: %+v", res)
+	}
+}
+
+func TestQBERFromIdealBell(t *testing.T) {
+	ez, ex, err := QBERFromState(quantum.PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ez > 1e-12 || ex > 1e-12 {
+		t.Fatalf("ideal Bell pair has QBER z=%g x=%g", ez, ex)
+	}
+}
+
+func TestQBERFromWernerClosedForm(t *testing.T) {
+	// Werner state p: QBER_z = QBER_x = (1-p)/2.
+	for _, p := range []float64{0.2, 0.5, 0.8, 1} {
+		ez, ex, err := QBERFromState(quantum.WernerState(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (1 - p) / 2
+		if math.Abs(ez-want) > 1e-10 || math.Abs(ex-want) > 1e-10 {
+			t.Errorf("Werner(%g): QBER z=%g x=%g, want %g", p, ez, ex, want)
+		}
+	}
+}
+
+func TestQBERFromDampedPair(t *testing.T) {
+	// One-arm amplitude damping with transmissivity eta: Z errors only
+	// from the decayed |11> component: ez = (1-eta)/2; X errors from the
+	// reduced coherence: ex = (1 - sqrt(eta))/2... verify numerically
+	// against the matrix elements rather than trusting the closed form.
+	for _, eta := range []float64{0.5, 0.7, 0.9} {
+		rho, err := quantum.DistributeBellPair(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ez, ex, err := QBERFromState(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ez-(1-eta)/2) > 1e-10 {
+			t.Errorf("eta=%g: ez=%g, want %g", eta, ez, (1-eta)/2)
+		}
+		if ex <= 0 || ex >= 0.5 {
+			t.Errorf("eta=%g: ex=%g out of range", eta, ex)
+		}
+		if ex <= ez/2 {
+			t.Errorf("eta=%g: coherence error %g implausibly small vs %g", eta, ex, ez)
+		}
+	}
+}
+
+func TestQBERRejectsWrongDim(t *testing.T) {
+	if _, _, err := QBERFromState(quantum.Identity(2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestBBM92IdealPairs(t *testing.T) {
+	d := DefaultDetector()
+	d.MisalignmentError = 0
+	res, err := BBM92(quantum.PhiPlus().Density(), 1e6, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SecretFraction-1) > 1e-12 {
+		t.Fatalf("ideal pairs secret fraction %g", res.SecretFraction)
+	}
+	if math.Abs(res.SecretKeyRateHz-0.5e6) > 1e-6 {
+		t.Fatalf("ideal key rate %g, want 0.5e6", res.SecretKeyRateHz)
+	}
+}
+
+func TestBBM92WornOutPairsNoKey(t *testing.T) {
+	res, err := BBM92(quantum.WernerState(0.4), 1e6, DefaultDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecretKeyRateHz != 0 {
+		t.Fatalf("30%%-QBER pairs produced key: %+v", res)
+	}
+}
+
+func TestRelayBBM92(t *testing.T) {
+	d := DefaultDetector()
+	res, err := RelayBBM92(0.956, 0.956, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coincidence post-selection removes loss: QBER is set by the 1%
+	// misalignment only (two arms ≈ 2%).
+	if res.QBERz < 0.015 || res.QBERz > 0.025 {
+		t.Fatalf("relay QBER %g, want ≈0.02", res.QBERz)
+	}
+	if res.SecretKeyRateHz <= 0 {
+		t.Fatal("HAP-grade links should produce key")
+	}
+	// Pair rate scales with the product of transmissivities.
+	res2, err := RelayBBM92(0.5, 0.956, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PairRateHz >= res.PairRateHz {
+		t.Fatal("lower transmissivity should lower the pair rate")
+	}
+	if _, err := RelayBBM92(-0.1, 0.9, d); err == nil {
+		t.Fatal("bad eta accepted")
+	}
+}
+
+func TestBBM92RejectsNegativeRate(t *testing.T) {
+	if _, err := BBM92(quantum.PhiPlus().Density(), -1, DefaultDetector()); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestBB84SecretFractionInUnitRange(t *testing.T) {
+	f := func(seed int64) bool {
+		eta := math.Abs(math.Sin(float64(seed)))
+		res, err := BB84(eta, DefaultDetector())
+		if err != nil {
+			return false
+		}
+		return res.SecretFraction >= 0 && res.SecretFraction <= 1 &&
+			res.QBER >= 0 && res.QBER <= 0.5+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

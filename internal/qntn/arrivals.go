@@ -1,0 +1,203 @@
+package qntn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/routing"
+	"qntn/internal/stats"
+)
+
+// ArrivalConfig parameterizes the arrival-driven experiment: entanglement
+// requests arrive as a Poisson process and queue until their LAN pair is
+// bridged — the operational view of the paper's "all requests are served
+// while in range" assumption.
+type ArrivalConfig struct {
+	// RatePerHour is the mean Poisson arrival rate of inter-LAN requests.
+	RatePerHour float64
+	// Horizon is the simulated period.
+	Horizon time.Duration
+	Seed    int64
+}
+
+// DefaultArrivalConfig returns a moderate request load over one day.
+func DefaultArrivalConfig() ArrivalConfig {
+	return ArrivalConfig{RatePerHour: 120, Horizon: 24 * time.Hour, Seed: 1}
+}
+
+// ArrivalResult summarizes the arrival-driven run.
+type ArrivalResult struct {
+	Config ArrivalConfig
+	// Arrivals counts generated requests; Served counts those delivered
+	// within the horizon; the rest are censored in queue.
+	Arrivals int
+	Served   int
+	// ServedImmediately counts requests whose pair was bridged on
+	// arrival.
+	ServedImmediately int
+	// Wait statistics over served requests.
+	MeanWait time.Duration
+	MaxWait  time.Duration
+	// MeanFidelity at the moment of service.
+	MeanFidelity float64
+	// MaxQueueDepth is the largest number of requests simultaneously
+	// waiting.
+	MaxQueueDepth int
+	// EventsProcessed counts discrete events (arrivals + topology
+	// updates).
+	EventsProcessed int
+}
+
+// ServedPercent returns the delivered fraction.
+func (r *ArrivalResult) ServedPercent() float64 {
+	if r.Arrivals == 0 {
+		return 0
+	}
+	return 100 * float64(r.Served) / float64(r.Arrivals)
+}
+
+// queuedRequest is a waiting arrival.
+type queuedRequest struct {
+	req     netsim.Request
+	arrived time.Duration
+}
+
+// RunArrivals executes the arrival-driven experiment on the discrete-event
+// simulator: Poisson arrivals interleave with the 30-second topology
+// updates; each arrival is served against the most recent topology or
+// queued, and every topology update drains the queue of newly reachable
+// requests. All randomness is seeded; runs are reproducible.
+func (sc *Scenario) RunArrivals(cfg ArrivalConfig) (*ArrivalResult, error) {
+	if cfg.RatePerHour <= 0 {
+		return nil, fmt.Errorf("qntn: arrival rate must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 24 * time.Hour
+	}
+	res := &ArrivalResult{Config: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wl := NewWorkload(sc, cfg.Seed+1)
+
+	sim := netsim.NewSimulator()
+	var simErr error
+
+	// Topology state, refreshed by update events.
+	var graph *routing.Graph
+	var dijkstraMemo map[string]*routing.SingleSourceResult
+	var queue []queuedRequest
+	var waits, fids []float64
+
+	refreshTopology := func(s *netsim.Simulator) bool {
+		g, err := sc.Graph(s.Now())
+		if err != nil {
+			simErr = err
+			s.Stop()
+			return false
+		}
+		graph = g
+		dijkstraMemo = make(map[string]*routing.SingleSourceResult)
+		return true
+	}
+
+	// tryServe attempts to deliver req against the current topology.
+	tryServe := func(now time.Duration, q queuedRequest) (bool, error) {
+		src := q.req.Src
+		sp, ok := dijkstraMemo[src]
+		if !ok {
+			var err error
+			sp, err = routing.Dijkstra(graph, src, routing.InverseEtaCost(sc.Params.RoutingEpsilon))
+			if err != nil {
+				return false, err
+			}
+			dijkstraMemo[src] = sp
+		}
+		if math.IsInf(sp.Dist[q.req.Dst], 1) {
+			return false, nil
+		}
+		path, err := sp.PathTo(q.req.Dst)
+		if err != nil {
+			return false, err
+		}
+		etas, err := graph.EdgeEtas(path)
+		if err != nil {
+			return false, err
+		}
+		wait := now - q.arrived
+		res.Served++
+		if wait == 0 {
+			res.ServedImmediately++
+		}
+		waits = append(waits, wait.Seconds())
+		if wait > res.MaxWait {
+			res.MaxWait = wait
+		}
+		fids = append(fids, PathFidelity(etas, sc.Params.FidelityModel))
+		return true, nil
+	}
+
+	// Topology updates drain the queue.
+	step := sc.Params.StepInterval
+	if err := sim.ScheduleEvery(0, step, cfg.Horizon, "topology-update", func(s *netsim.Simulator) {
+		if !refreshTopology(s) {
+			return
+		}
+		remaining := queue[:0]
+		for _, q := range queue {
+			ok, err := tryServe(s.Now(), q)
+			if err != nil {
+				simErr = err
+				s.Stop()
+				return
+			}
+			if !ok {
+				remaining = append(remaining, q)
+			}
+		}
+		queue = remaining
+	}); err != nil {
+		return nil, err
+	}
+
+	// Poisson arrivals: pre-draw the arrival times (exponential
+	// interarrivals) and schedule them.
+	meanGapS := 3600 / cfg.RatePerHour
+	for at := time.Duration(0); ; {
+		gap := time.Duration(rng.ExpFloat64() * meanGapS * float64(time.Second))
+		at += gap
+		if at >= cfg.Horizon {
+			break
+		}
+		if err := sim.Schedule(at, "arrival", func(s *netsim.Simulator) {
+			res.Arrivals++
+			q := queuedRequest{req: wl.Next(), arrived: s.Now()}
+			ok, err := tryServe(s.Now(), q)
+			if err != nil {
+				simErr = err
+				s.Stop()
+				return
+			}
+			if !ok {
+				queue = append(queue, q)
+				if len(queue) > res.MaxQueueDepth {
+					res.MaxQueueDepth = len(queue)
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sim.Run(cfg.Horizon); err != nil {
+		return nil, err
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	res.MeanWait = secs(stats.Mean(waits))
+	res.MeanFidelity = stats.Mean(fids)
+	res.EventsProcessed = sim.Processed
+	return res, nil
+}

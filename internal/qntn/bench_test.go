@@ -1,0 +1,76 @@
+package qntn
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSnapshot108Satellites(b *testing.B) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Graph(time.Duration(i) * 30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutesAirGround(b *testing.B) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sc.Routes(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutes108Satellites(b *testing.B) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sc.Routes(time.Duration(i) * 30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverageHour108Satellites(b *testing.B) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Coverage(time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathFidelityBestSplit(b *testing.B) {
+	etas := []float64{0.93, 0.88, 0.95}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PathFidelity(etas, SourceAtBestSplit)
+	}
+}
+
+func BenchmarkPathFidelityExact(b *testing.B) {
+	etas := []float64{0.93, 0.88, 0.95}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PathFidelityExact(etas, SourceAtBestSplit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package qntn
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/orbit"
+	"qntn/internal/routing"
+)
+
+// Interval is a half-open time span [Start, End) during which the regional
+// network is fully bridged.
+type Interval struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// CoverageResult reports the paper's Eq. (6)-(7) coverage metrics for one
+// architecture over one simulated period.
+type CoverageResult struct {
+	// Intervals are the connected spans (Eq. 6's k-intervals).
+	Intervals []Interval
+	// Covered is T_c, the summed duration of the intervals.
+	Covered time.Duration
+	// Total is the simulated period (T_day in the paper).
+	Total time.Duration
+	// Steps and CoveredSteps count topology evaluations.
+	Steps        int
+	CoveredSteps int
+}
+
+// Percent returns P = T_c / T_total × 100 (Eq. 7).
+func (r CoverageResult) Percent() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return 100 * float64(r.Covered) / float64(r.Total)
+}
+
+// Bridged reports whether every pair of local networks is connected in the
+// given topology snapshot: for every LAN pair (i, j) some node of i reaches
+// some node of j. Because each LAN is internally fiber-connected, this is
+// equivalent to all three LANs lying in one connected component, which is
+// what the union-find below checks.
+func (sc *Scenario) Bridged(g *routing.Graph) bool {
+	nodes := g.Nodes()
+	idx := make(map[string]int, len(nodes))
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	uf := newUnionFind(len(nodes))
+	for i, id := range nodes {
+		for _, nb := range g.Neighbors(id) {
+			uf.union(i, idx[nb])
+		}
+	}
+	// All LANs must share one component (via any of their nodes; LAN
+	// nodes are mutually fiber-connected so the first node suffices, but
+	// we check every node defensively in case a LAN is internally split).
+	root := -1
+	for _, lan := range sc.LANs {
+		ids := sc.GroundIDs[lan.Name]
+		if len(ids) == 0 {
+			return false
+		}
+		r := uf.find(idx[ids[0]])
+		for _, id := range ids[1:] {
+			if uf.find(idx[id]) != r {
+				return false // LAN internally disconnected
+			}
+		}
+		if root == -1 {
+			root = r
+		} else if r != root {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage simulates the scenario for the given duration, updating the
+// topology every Params.StepInterval (the paper's 30 s satellite movement
+// step) through the discrete-event simulator, and returns the Eq. (6)-(7)
+// coverage metrics. Each covered step contributes one step interval to T_c.
+func (sc *Scenario) Coverage(duration time.Duration) (*CoverageResult, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("qntn: non-positive coverage duration %v", duration)
+	}
+	step := sc.Params.StepInterval
+	res := &CoverageResult{Total: duration}
+	sim := netsim.NewSimulator()
+	var simErr error
+	err := sim.ScheduleEvery(0, step, duration-step, "topology-update", func(s *netsim.Simulator) {
+		g, err := sc.Graph(s.Now())
+		if err != nil {
+			simErr = err
+			s.Stop()
+			return
+		}
+		accumulate(res, s.Now(), step, sc.Bridged(g))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Run(duration); err != nil {
+		return nil, err
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	return res, nil
+}
+
+// FullDayCoverage runs Coverage over the paper's 24-hour horizon.
+func (sc *Scenario) FullDayCoverage() (*CoverageResult, error) {
+	return sc.Coverage(orbit.Day)
+}
+
+// unionFind is a plain disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

@@ -1,0 +1,137 @@
+package qntn
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAirGroundFullCoverage(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Coverage(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Percent(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("air-ground coverage %.2f%%, want 100%%", got)
+	}
+	if len(res.Intervals) != 1 {
+		t.Fatalf("air-ground coverage should be one contiguous interval, got %d", len(res.Intervals))
+	}
+	if res.Intervals[0].Start != 0 || res.Intervals[0].End != time.Hour {
+		t.Fatalf("interval %+v", res.Intervals[0])
+	}
+	if res.Steps != 120 || res.CoveredSteps != 120 {
+		t.Fatalf("steps %d/%d", res.CoveredSteps, res.Steps)
+	}
+}
+
+func TestSpaceGroundPartialCoverage(t *testing.T) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Coverage(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := res.Percent()
+	if pct <= 0 || pct >= 100 {
+		t.Fatalf("space-ground 2h coverage %.2f%% should be partial", pct)
+	}
+	// Interval bookkeeping must be self-consistent.
+	var sum time.Duration
+	for i, iv := range res.Intervals {
+		if iv.End <= iv.Start {
+			t.Fatalf("interval %d is degenerate: %+v", i, iv)
+		}
+		if i > 0 && iv.Start < res.Intervals[i-1].End {
+			t.Fatalf("intervals overlap: %+v then %+v", res.Intervals[i-1], iv)
+		}
+		sum += iv.Duration()
+	}
+	if sum != res.Covered {
+		t.Fatalf("interval sum %v != covered %v", sum, res.Covered)
+	}
+	if res.Covered != time.Duration(res.CoveredSteps)*sc.Params.StepInterval {
+		t.Fatal("covered duration inconsistent with covered steps")
+	}
+}
+
+func TestSmallConstellationLowCoverage(t *testing.T) {
+	// 6 satellites cannot out-cover 108.
+	p := DefaultParams()
+	small, err := NewSpaceGround(6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 3 * time.Hour
+	smallCov, err := small.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigCov, err := big.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallCov.Percent() > bigCov.Percent() {
+		t.Fatalf("6 sats cover %.2f%% > 108 sats %.2f%%", smallCov.Percent(), bigCov.Percent())
+	}
+}
+
+func TestCoverageRejectsBadDuration(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Coverage(0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := sc.Coverage(-time.Hour); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestBridgedRequiresRelays(t *testing.T) {
+	// With no relays the ground LANs are mutually isolated.
+	p := DefaultParams()
+	sc, err := NewSpaceGround(6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a time when no satellite covers Tennessee; scan for one.
+	found := false
+	for at := time.Duration(0); at < 12*time.Hour; at += 10 * time.Minute {
+		g, err := sc.Graph(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Bridged(g) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("6-satellite constellation appears always bridged — implausible")
+	}
+}
+
+func TestCoveragePercentZeroTotal(t *testing.T) {
+	if (CoverageResult{}).Percent() != 0 {
+		t.Fatal("zero-total coverage should report 0%")
+	}
+}
+
+func TestIntervalDuration(t *testing.T) {
+	iv := Interval{Start: time.Minute, End: 3 * time.Minute}
+	if iv.Duration() != 2*time.Minute {
+		t.Fatal("interval duration wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package qntn
+
+import (
+	"testing"
+	"time"
+
+	"qntn/internal/astro"
+	"qntn/internal/geo"
+)
+
+func TestDarknessGatingAirGround(t *testing.T) {
+	p := DefaultParams()
+	p.RequireDarkness = true
+	sc, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := sc.Coverage(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Night gating cuts the always-on HAP to roughly the dark fraction
+	// of the day (just under half with the civil-twilight margin).
+	if pct := cov.Percent(); pct < 35 || pct > 50 {
+		t.Fatalf("night-only air-ground coverage %.2f%%, want ≈40-50%%", pct)
+	}
+}
+
+func TestDarknessGatingSpaceGround(t *testing.T) {
+	p := DefaultParams()
+	day, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RequireDarkness = true
+	night, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 9-hour window starting at the epoch spans both Tennessee night
+	// (epoch ≈ 18:20 local) and the following morning.
+	const window = 9 * time.Hour
+	dayCov, err := day.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nightCov, err := night.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nightCov.Percent() >= dayCov.Percent() {
+		t.Fatalf("darkness constraint did not reduce coverage: %.2f vs %.2f",
+			nightCov.Percent(), dayCov.Percent())
+	}
+	if nightCov.Percent() <= 0 {
+		t.Fatal("night-only coverage should not vanish entirely")
+	}
+}
+
+func TestDarknessGatingLinkLevel(t *testing.T) {
+	p := DefaultParams()
+	p.RequireDarkness = true
+	sc, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sun := astro.Sun{}
+	ttu := geo.LLA{LatDeg: 36.1757, LonDeg: -85.5066}
+	host := sc.GroundIDs[NetworkTTU][0]
+	sawDark, sawLight := false, false
+	for at := time.Duration(0); at < 24*time.Hour; at += 30 * time.Minute {
+		_, usable := sc.EvaluateLink(host, HAPID, at)
+		dark := sun.IsDark(ttu, at, astro.CivilTwilightRad)
+		if usable != dark {
+			t.Fatalf("at %v: usable=%v but dark=%v", at, usable, dark)
+		}
+		if dark {
+			sawDark = true
+		} else {
+			sawLight = true
+		}
+	}
+	if !sawDark || !sawLight {
+		t.Fatal("expected both day and night samples across 24h")
+	}
+}
+
+func TestDarknessDoesNotAffectFiber(t *testing.T) {
+	p := DefaultParams()
+	p.RequireDarkness = true
+	sc, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Daytime instant at Tennessee (epoch = Greenwich solar midnight;
+	// Tennessee is ~5.7 h behind, so ~18h local midnight → 6h local noon
+	// is epoch+~17.7h... just scan for a lit instant).
+	ids := sc.GroundIDs[NetworkTTU]
+	sun := astro.Sun{}
+	ttu := geo.LLA{LatDeg: 36.1757, LonDeg: -85.5066}
+	for at := time.Duration(0); at < 24*time.Hour; at += time.Hour {
+		if !sun.IsDark(ttu, at, astro.CivilTwilightRad) {
+			if _, ok := sc.EvaluateLink(ids[0], ids[1], at); !ok {
+				t.Fatal("daylight should not break intra-LAN fiber")
+			}
+			return
+		}
+	}
+	t.Fatal("never found a lit instant")
+}
+
+func TestTwilightParamValidation(t *testing.T) {
+	p := DefaultParams()
+	p.TwilightRad = -0.1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative twilight accepted")
+	}
+	p = DefaultParams()
+	p.TwilightRad = 2
+	if err := p.Validate(); err == nil {
+		t.Fatal("twilight beyond π/2 accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package qntn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qntn/internal/quantum"
+)
+
+func TestPathFidelityEmptyPath(t *testing.T) {
+	for _, m := range []FidelityModel{SourceAtBestSplit, SourceAtEndpoint} {
+		if f := PathFidelity(nil, m); f != 1 {
+			t.Errorf("%v: empty path fidelity %g, want 1", m, f)
+		}
+	}
+}
+
+func TestPathFidelityMatchesExact(t *testing.T) {
+	// The closed-form PathFidelity must agree with full density-matrix
+	// evolution for both source placements.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		etas := make([]float64, n)
+		for i := range etas {
+			etas[i] = 0.5 + 0.5*rng.Float64()
+		}
+		for _, m := range []FidelityModel{SourceAtBestSplit, SourceAtEndpoint} {
+			fast := PathFidelity(etas, m)
+			exact, err := PathFidelityExact(etas, m)
+			if err != nil {
+				return false
+			}
+			if math.Abs(fast-exact) > 1e-9 {
+				t.Logf("seed %d model %v: fast %g exact %g (etas %v)", seed, m, fast, exact, etas)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestSplitAtLeastEndpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		etas := make([]float64, n)
+		for i := range etas {
+			etas[i] = rng.Float64()
+		}
+		return PathFidelity(etas, SourceAtBestSplit) >= PathFidelity(etas, SourceAtEndpoint)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathFidelitySingleHop(t *testing.T) {
+	// One lossless hop on either side: both models agree with the one-arm
+	// closed form.
+	for _, eta := range []float64{0.5, 0.7, 0.95, 1} {
+		want := quantum.AnalyticBellFidelity(eta)
+		if got := PathFidelity([]float64{eta}, SourceAtEndpoint); math.Abs(got-want) > 1e-12 {
+			t.Errorf("endpoint single hop eta=%g: %g want %g", eta, got, want)
+		}
+		// Best split on a single hop can place the source at either end —
+		// same value.
+		if got := PathFidelity([]float64{eta}, SourceAtBestSplit); got < want-1e-12 {
+			t.Errorf("best-split single hop eta=%g: %g below endpoint %g", eta, got, want)
+		}
+	}
+}
+
+func TestPathFidelityTwoHopBalancedSplit(t *testing.T) {
+	// For a symmetric relay path the best split is at the relay, giving
+	// the both-arms closed form.
+	eta := 0.9
+	want := quantum.AnalyticBellFidelityBothArms(eta, eta)
+	got := PathFidelity([]float64{eta, eta}, SourceAtBestSplit)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("balanced split %g, want %g", got, want)
+	}
+	// And it strictly beats the endpoint placement for lossy links.
+	if got <= PathFidelity([]float64{eta, eta}, SourceAtEndpoint) {
+		t.Fatal("relay placement should strictly beat endpoint placement")
+	}
+}
+
+func TestPathFidelityMonotoneInHopQuality(t *testing.T) {
+	for _, m := range []FidelityModel{SourceAtBestSplit, SourceAtEndpoint} {
+		lo := PathFidelity([]float64{0.7, 0.8}, m)
+		hi := PathFidelity([]float64{0.9, 0.8}, m)
+		if hi <= lo {
+			t.Errorf("%v: improving a hop did not improve fidelity", m)
+		}
+	}
+}
+
+func TestPathFidelityPerfectPath(t *testing.T) {
+	for _, m := range []FidelityModel{SourceAtBestSplit, SourceAtEndpoint} {
+		if f := PathFidelity([]float64{1, 1, 1}, m); math.Abs(f-1) > 1e-12 {
+			t.Errorf("%v: lossless path fidelity %g", m, f)
+		}
+	}
+}
+
+func TestPathFidelityUnknownModelFallsBack(t *testing.T) {
+	if f := PathFidelity([]float64{0.8}, FidelityModel(99)); f <= 0 || f > 1 {
+		t.Fatalf("unknown model fidelity %g", f)
+	}
+	if _, err := PathFidelityExact([]float64{0.8}, FidelityModel(99)); err == nil {
+		t.Fatal("exact path should reject unknown model")
+	}
+}

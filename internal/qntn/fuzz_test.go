@@ -1,0 +1,39 @@
+package qntn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadParams exercises the JSON parameter loader: it must never panic,
+// and anything it accepts must validate and survive a save/load round
+// trip.
+func FuzzLoadParams(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, DefaultParams()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("{}")
+	f.Add(`{"wavelength_nm": 532}`)
+	f.Add(`{"fidelity_model": "nonsense"}`)
+	f.Add("not json at all")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := LoadParams(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("LoadParams accepted invalid params: %v", err)
+		}
+		var out bytes.Buffer
+		if err := SaveParams(&out, p); err != nil {
+			t.Fatalf("save of accepted params failed: %v", err)
+		}
+		if _, err := LoadParams(&out); err != nil {
+			t.Fatalf("round trip of accepted params failed: %v", err)
+		}
+	})
+}

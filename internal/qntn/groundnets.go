@@ -1,0 +1,94 @@
+package qntn
+
+import (
+	"fmt"
+
+	"qntn/internal/geo"
+)
+
+// Canonical local-network names.
+const (
+	NetworkTTU  = "TTU"  // Tennessee Tech University (5 nodes)
+	NetworkEPB  = "EPB"  // EPB commercial network, Chattanooga (15 nodes)
+	NetworkORNL = "ORNL" // Oak Ridge National Laboratory (11 nodes)
+)
+
+// LocalNetwork is one of the three quantum LANs of the QNTN.
+type LocalNetwork struct {
+	Name  string
+	Nodes []geo.LLA
+}
+
+// Centroid returns the mean position of the network's nodes (at ground
+// altitude).
+func (n LocalNetwork) Centroid() geo.LLA {
+	var lat, lon float64
+	for _, p := range n.Nodes {
+		lat += p.LatDeg
+		lon += p.LonDeg
+	}
+	k := float64(len(n.Nodes))
+	if k == 0 {
+		return geo.LLA{}
+	}
+	return geo.LLA{LatDeg: lat / k, LonDeg: lon / k}
+}
+
+// GroundNetworks returns the three local networks with the exact node
+// coordinates of the paper's Table I.
+func GroundNetworks() []LocalNetwork {
+	return []LocalNetwork{
+		{
+			Name: NetworkTTU,
+			Nodes: []geo.LLA{
+				{LatDeg: 36.1757, LonDeg: -85.5066},
+				{LatDeg: 36.1751, LonDeg: -85.5067},
+				{LatDeg: 36.1754, LonDeg: -85.5074},
+				{LatDeg: 36.1755, LonDeg: -85.5058},
+				{LatDeg: 36.1756, LonDeg: -85.5080},
+			},
+		},
+		{
+			Name: NetworkEPB,
+			Nodes: []geo.LLA{
+				{LatDeg: 35.04159, LonDeg: -85.2799},
+				{LatDeg: 35.04169, LonDeg: -85.2801},
+				{LatDeg: 35.04179, LonDeg: -85.2803},
+				{LatDeg: 35.04189, LonDeg: -85.2805},
+				{LatDeg: 35.04199, LonDeg: -85.2807},
+				{LatDeg: 35.04051, LonDeg: -85.2806},
+				{LatDeg: 35.04061, LonDeg: -85.2807},
+				{LatDeg: 35.04071, LonDeg: -85.2808},
+				{LatDeg: 35.04081, LonDeg: -85.2809},
+				{LatDeg: 35.04091, LonDeg: -85.2810},
+				{LatDeg: 35.03971, LonDeg: -85.2810},
+				{LatDeg: 35.03981, LonDeg: -85.2811},
+				{LatDeg: 35.03991, LonDeg: -85.2812},
+				{LatDeg: 35.04001, LonDeg: -85.2813},
+				{LatDeg: 35.04011, LonDeg: -85.2814},
+			},
+		},
+		{
+			Name: NetworkORNL,
+			Nodes: []geo.LLA{
+				{LatDeg: 35.91, LonDeg: -84.3},
+				{LatDeg: 35.91, LonDeg: -84.303},
+				{LatDeg: 35.918, LonDeg: -84.304},
+				{LatDeg: 35.92, LonDeg: -84.321},
+				{LatDeg: 35.927, LonDeg: -84.313},
+				{LatDeg: 35.9238, LonDeg: -84.316},
+				{LatDeg: 35.9285, LonDeg: -84.31283},
+				{LatDeg: 35.9294, LonDeg: -84.3101},
+				{LatDeg: 35.9293, LonDeg: -84.3106},
+				{LatDeg: 35.9298, LonDeg: -84.3106},
+				{LatDeg: 35.9309, LonDeg: -84.308},
+			},
+		},
+	}
+}
+
+// NodeID builds the canonical host identifier for node index i (0-based)
+// of the named network, e.g. "TTU-01".
+func NodeID(network string, i int) string {
+	return fmt.Sprintf("%s-%02d", network, i+1)
+}

@@ -1,0 +1,102 @@
+package qntn
+
+import (
+	"math"
+	"testing"
+
+	"qntn/internal/geo"
+)
+
+func TestGroundNetworksShape(t *testing.T) {
+	nets := GroundNetworks()
+	if len(nets) != 3 {
+		t.Fatalf("%d networks, want 3", len(nets))
+	}
+	want := map[string]int{NetworkTTU: 5, NetworkEPB: 15, NetworkORNL: 11}
+	total := 0
+	for _, n := range nets {
+		if got := len(n.Nodes); got != want[n.Name] {
+			t.Errorf("%s has %d nodes, want %d", n.Name, got, want[n.Name])
+		}
+		total += len(n.Nodes)
+	}
+	if total != 31 {
+		t.Fatalf("total nodes %d, want 31", total)
+	}
+}
+
+func TestGroundNetworksTableIAnchors(t *testing.T) {
+	nets := GroundNetworks()
+	// First coordinates of each network, straight from Table I.
+	if p := nets[0].Nodes[0]; p.LatDeg != 36.1757 || p.LonDeg != -85.5066 {
+		t.Errorf("TTU anchor %v", p)
+	}
+	if p := nets[1].Nodes[0]; p.LatDeg != 35.04159 || p.LonDeg != -85.2799 {
+		t.Errorf("EPB anchor %v", p)
+	}
+	if p := nets[2].Nodes[0]; p.LatDeg != 35.91 || p.LonDeg != -84.3 {
+		t.Errorf("ORNL anchor %v", p)
+	}
+}
+
+func TestLANsAreCompact(t *testing.T) {
+	// Every LAN must fit within a few km so that intra-LAN fiber links
+	// stay above the transmissivity threshold.
+	fiber := DefaultParams().Fiber()
+	for _, lan := range GroundNetworks() {
+		for i := range lan.Nodes {
+			for j := i + 1; j < len(lan.Nodes); j++ {
+				d := geo.GreatCircleM(lan.Nodes[i], lan.Nodes[j])
+				if d > 3000 {
+					t.Errorf("%s nodes %d-%d separated by %.0f m", lan.Name, i, j, d)
+				}
+				if eta := fiber.Transmissivity(d); eta < DefaultParams().TransmissivityThreshold {
+					t.Errorf("%s intra-LAN fiber %d-%d below threshold (η=%.3f)", lan.Name, i, j, eta)
+				}
+			}
+		}
+	}
+}
+
+func TestLANSeparations(t *testing.T) {
+	nets := GroundNetworks()
+	c := map[string]geo.LLA{}
+	for _, n := range nets {
+		c[n.Name] = n.Centroid()
+	}
+	pairs := []struct {
+		a, b  string
+		minKM float64
+		maxKM float64
+	}{
+		{NetworkTTU, NetworkEPB, 100, 160},
+		{NetworkTTU, NetworkORNL, 80, 140},
+		{NetworkEPB, NetworkORNL, 100, 160},
+	}
+	for _, p := range pairs {
+		d := geo.GreatCircleM(c[p.a], c[p.b]) / 1000
+		if d < p.minKM || d > p.maxKM {
+			t.Errorf("%s-%s separation %.1f km outside [%g, %g]", p.a, p.b, d, p.minKM, p.maxKM)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	lan := LocalNetwork{Name: "X", Nodes: []geo.LLA{{LatDeg: 1, LonDeg: 2}, {LatDeg: 3, LonDeg: 4}}}
+	c := lan.Centroid()
+	if math.Abs(c.LatDeg-2) > 1e-12 || math.Abs(c.LonDeg-3) > 1e-12 {
+		t.Fatalf("centroid %v", c)
+	}
+	if (LocalNetwork{}).Centroid() != (geo.LLA{}) {
+		t.Fatal("empty centroid should be zero")
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	if got := NodeID(NetworkTTU, 0); got != "TTU-01" {
+		t.Fatalf("NodeID %q", got)
+	}
+	if got := NodeID(NetworkEPB, 14); got != "EPB-15" {
+		t.Fatalf("NodeID %q", got)
+	}
+}

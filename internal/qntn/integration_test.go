@@ -1,0 +1,90 @@
+package qntn
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestIntegrationPaperPipeline exercises the full reproduction pipeline at
+// reduced scale and pins the qualitative results the paper reports. It is
+// the repository's end-to-end smoke test.
+func TestIntegrationPaperPipeline(t *testing.T) {
+	p := DefaultParams()
+
+	// 1. Space-ground at 108 satellites: partial coverage, partial
+	//    serving, fidelity in the low 0.9s.
+	space, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 4 * time.Hour
+	spaceCov, err := space.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct := spaceCov.Percent(); pct < 30 || pct > 80 {
+		t.Fatalf("space coverage %.2f%% outside the expected band", pct)
+	}
+	cfg := ServeConfig{RequestsPerStep: 30, Steps: 20, Horizon: 24 * time.Hour, Seed: 42}
+	spaceServe, err := space.RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spaceServe.ServedPercent <= 20 || spaceServe.ServedPercent >= 90 {
+		t.Fatalf("space served %.2f%%", spaceServe.ServedPercent)
+	}
+	if spaceServe.MeanFidelity < 0.88 || spaceServe.MeanFidelity > 0.96 {
+		t.Fatalf("space fidelity %.4f", spaceServe.MeanFidelity)
+	}
+
+	// 2. Air-ground: total coverage, total serving, fidelity ≈ 0.98.
+	air, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airCov, err := air.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airServe, err := air.RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if airCov.Percent() != 100 || airServe.ServedPercent != 100 {
+		t.Fatalf("air-ground %.2f%%/%.2f%%, want 100/100", airCov.Percent(), airServe.ServedPercent)
+	}
+	if math.Abs(airServe.MeanFidelity-0.9786) > 0.005 {
+		t.Fatalf("air fidelity %.4f, want ≈0.9786", airServe.MeanFidelity)
+	}
+
+	// 3. Every Table III ordering holds.
+	if !(airCov.Percent() > spaceCov.Percent() &&
+		airServe.ServedPercent > spaceServe.ServedPercent &&
+		airServe.MeanFidelity > spaceServe.MeanFidelity) {
+		t.Fatal("air-ground does not dominate space-ground")
+	}
+
+	// 4. Whole pipeline is reproducible: identical reruns bit-for-bit.
+	spaceCov2, err := space.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spaceCov2.Covered != spaceCov.Covered || spaceCov2.CoveredSteps != spaceCov.CoveredSteps {
+		t.Fatal("coverage not reproducible")
+	}
+	spaceServe2, err := space.RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spaceServe2.ServedPercent != spaceServe.ServedPercent ||
+		spaceServe2.MeanFidelity != spaceServe.MeanFidelity {
+		t.Fatal("serving not reproducible")
+	}
+	for i, o := range spaceServe2.Metrics.Outcomes {
+		ref := spaceServe.Metrics.Outcomes[i]
+		if o.Request != ref.Request || o.Served != ref.Served || o.Fidelity != ref.Fidelity {
+			t.Fatalf("outcome %d diverged between identical runs", i)
+		}
+	}
+}

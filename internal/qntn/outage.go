@@ -1,0 +1,39 @@
+package qntn
+
+import (
+	"hash/fnv"
+	"time"
+
+	"qntn/internal/netsim"
+)
+
+// hapAvailable reports whether the given HAP is operational at time t
+// under the configured outage probability. Availability is a pure function
+// of (platform ID, step index, OutageSeed): a 64-bit FNV hash is mapped to
+// [0,1) and compared against the outage probability, giving an
+// uncorrelated, reproducible outage sequence per platform without shared
+// RNG state (EvaluateLink stays side-effect free and safe to call in any
+// order).
+func (sc *Scenario) hapAvailable(hap netsim.Node, t time.Duration) bool {
+	p := sc.Params.HAPOutageProbability
+	if p <= 0 {
+		return true
+	}
+	if p >= 1 {
+		return false
+	}
+	step := int64(t / sc.Params.StepInterval)
+	h := fnv.New64a()
+	var buf [8]byte
+	write64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(hap.ID()))
+	write64(uint64(step))
+	write64(uint64(sc.Params.OutageSeed))
+	u := float64(h.Sum64()>>11) / float64(1<<53) // uniform in [0,1)
+	return u >= p
+}

@@ -1,0 +1,130 @@
+package qntn
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOutageZeroProbabilityAlwaysAvailable(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := sc.Coverage(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Percent() != 100 {
+		t.Fatalf("no-outage coverage %.2f%%", cov.Percent())
+	}
+}
+
+func TestOutageFrequencyMatchesProbability(t *testing.T) {
+	p := DefaultParams()
+	p.HAPOutageProbability = 0.2
+	sc, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := sc.Coverage(12 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coverage should track availability: ≈80% within sampling noise.
+	if got := cov.Percent(); math.Abs(got-80) > 4 {
+		t.Fatalf("coverage %.2f%% with 20%% outage, want ≈80%%", got)
+	}
+	// Outages fragment the day into many intervals.
+	if len(cov.Intervals) < 20 {
+		t.Fatalf("only %d intervals — outages not fragmenting coverage", len(cov.Intervals))
+	}
+}
+
+func TestOutageDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.HAPOutageProbability = 0.3
+	sc1, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := sc1.GroundIDs[NetworkTTU][0]
+	for at := time.Duration(0); at < 2*time.Hour; at += 30 * time.Second {
+		_, ok1 := sc1.EvaluateLink(host, HAPID, at)
+		_, ok2 := sc2.EvaluateLink(host, HAPID, at)
+		if ok1 != ok2 {
+			t.Fatalf("outage pattern not deterministic at %v", at)
+		}
+	}
+}
+
+func TestOutageSeedChangesPattern(t *testing.T) {
+	p := DefaultParams()
+	p.HAPOutageProbability = 0.3
+	scA, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OutageSeed = 12345
+	scB, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := scA.GroundIDs[NetworkTTU][0]
+	same := true
+	for at := time.Duration(0); at < 4*time.Hour; at += 30 * time.Second {
+		_, ok1 := scA.EvaluateLink(host, HAPID, at)
+		_, ok2 := scB.EvaluateLink(host, HAPID, at)
+		if ok1 != ok2 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outage patterns")
+	}
+}
+
+func TestOutageDoesNotAffectSatellites(t *testing.T) {
+	p := DefaultParams()
+	p.HAPOutageProbability = 1 // HAPs always down
+	space, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := space.Coverage(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Percent() <= 0 {
+		t.Fatal("satellite links must ignore HAP outage probability")
+	}
+	// And a fully-out HAP yields zero air-ground coverage.
+	air, err := NewAirGround(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airCov, err := air.Coverage(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if airCov.Percent() != 0 {
+		t.Fatalf("always-out HAP still covers %.2f%%", airCov.Percent())
+	}
+}
+
+func TestOutageProbabilityValidation(t *testing.T) {
+	p := DefaultParams()
+	p.HAPOutageProbability = -0.1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative outage probability accepted")
+	}
+	p.HAPOutageProbability = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("outage probability above 1 accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package qntn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDetailedCoverageAirGround(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	detail, err := sc.DetailedCoverage(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.All.Percent() != 100 {
+		t.Fatalf("all-pairs coverage %.2f%%", detail.All.Percent())
+	}
+	if len(detail.Pairs) != 3 {
+		t.Fatalf("%d pairs", len(detail.Pairs))
+	}
+	for _, p := range detail.Pairs {
+		if p.Result.Percent() != 100 {
+			t.Fatalf("pair %s-%s coverage %.2f%%", p.NetworkA, p.NetworkB, p.Result.Percent())
+		}
+	}
+	// Static topology: only the initial link batch, no later transitions.
+	if detail.LinkTransitions != 0 {
+		t.Fatalf("static air-ground topology flapped %d times", detail.LinkTransitions)
+	}
+}
+
+func TestDetailedCoverageSpaceGround(t *testing.T) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 2 * time.Hour
+	detail, err := sc.DetailedCoverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency with the plain coverage path.
+	ref, err := sc.Coverage(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.All.CoveredSteps != ref.CoveredSteps {
+		t.Fatalf("detailed all-pairs %d steps vs reference %d", detail.All.CoveredSteps, ref.CoveredSteps)
+	}
+	// Each pair individually covers at least as much as the all-pairs
+	// intersection.
+	for _, p := range detail.Pairs {
+		if p.Result.CoveredSteps < detail.All.CoveredSteps {
+			t.Fatalf("pair %s-%s covered %d < all-pairs %d",
+				p.NetworkA, p.NetworkB, p.Result.CoveredSteps, detail.All.CoveredSteps)
+		}
+	}
+	// A moving constellation must produce link churn.
+	if detail.LinkTransitions == 0 {
+		t.Fatal("no link transitions over two hours of satellite motion")
+	}
+	// The pair explanation of Fig. 7 > Fig. 6: at least one pair covers
+	// strictly more than the three-way intersection (almost surely over
+	// 2h; if equal the serving argument degenerates but does not break).
+	better := false
+	for _, p := range detail.Pairs {
+		if p.Result.CoveredSteps > detail.All.CoveredSteps {
+			better = true
+		}
+	}
+	if !better {
+		t.Log("note: no pair exceeded the all-pairs coverage in this window")
+	}
+}
+
+func TestDetailedCoverageRejectsBadDuration(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.DetailedCoverage(0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -1,0 +1,338 @@
+package qntn
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/astro"
+	"qntn/internal/channel"
+	"qntn/internal/geo"
+	"qntn/internal/netsim"
+	"qntn/internal/orbit"
+	"qntn/internal/routing"
+)
+
+// Architecture selects between the paper's two interconnection approaches.
+type Architecture int
+
+const (
+	// SpaceGround uses a LEO constellation (paper §II-B).
+	SpaceGround Architecture = iota
+	// AirGround uses a single hovering HAP (paper §II-C).
+	AirGround
+	// Hybrid combines both relay layers — the paper's future-work
+	// direction, implemented here as an extension.
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (a Architecture) String() string {
+	switch a {
+	case SpaceGround:
+		return "space-ground"
+	case AirGround:
+		return "air-ground"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// HAPID is the identifier of the air-ground relay node.
+const HAPID = "HAP-1"
+
+// Scenario is a fully assembled QNTN instance: a set of local networks
+// (the paper's three Table I LANs by default) plus the relay layer of the
+// chosen architecture, with the link physics bound to the calibrated
+// parameters.
+type Scenario struct {
+	Arch   Architecture
+	Params Params
+	Net    *netsim.Network
+
+	// LANs are the local networks.
+	LANs []LocalNetwork
+	// GroundIDs maps network name to its host IDs in Table I order.
+	GroundIDs map[string][]string
+	// RelayIDs lists satellite and/or HAP node IDs.
+	RelayIDs []string
+
+	fiber        channel.Fiber
+	spaceFSO     channel.FSOConfig
+	hapFSO       channel.FSOConfig
+	policy       channel.LinkPolicy
+	groundByID   map[string]*netsim.GroundHost
+	relays       []netsim.Node
+	satAltM      float64
+	islClearance float64
+	sun          astro.Sun
+}
+
+// NewSpaceGround assembles the space-ground architecture with the first
+// nSats satellites of the paper's Table II slot pattern at the altitude and
+// inclination configured in p (the paper's 500 km / 53° by default).
+func NewSpaceGround(nSats int, p Params) (*Scenario, error) {
+	elems, err := orbit.PaperConstellationWith(nSats, p.SatelliteAltitudeM, p.InclinationDeg)
+	if err != nil {
+		return nil, err
+	}
+	sats := make([]netsim.Node, len(elems))
+	for i, e := range elems {
+		e.ApplyJ2 = p.UseJ2
+		sats[i] = netsim.NewSatelliteNode(fmt.Sprintf("SAT-%03d", i+1), e)
+	}
+	return assemble(SpaceGround, p, sats)
+}
+
+// NewSpaceGroundFromSheets assembles the space-ground architecture from
+// recorded movement sheets (the paper's STK import path).
+func NewSpaceGroundFromSheets(sheets []*orbit.MovementSheet, p Params) (*Scenario, error) {
+	if len(sheets) == 0 {
+		return nil, fmt.Errorf("qntn: no movement sheets")
+	}
+	sats := make([]netsim.Node, len(sheets))
+	for i, sh := range sheets {
+		sats[i] = netsim.NewSatelliteFromSheet(sh.Name, sh)
+	}
+	return assemble(SpaceGround, p, sats)
+}
+
+// NewAirGround assembles the air-ground architecture with the single HAP of
+// the paper's §II-C.
+func NewAirGround(p Params) (*Scenario, error) {
+	hap := netsim.NewHAPNode(HAPID, geo.LLA{LatDeg: p.HAPLatDeg, LonDeg: p.HAPLonDeg, AltM: p.HAPAltM})
+	return assemble(AirGround, p, []netsim.Node{hap})
+}
+
+// NewHybrid assembles a scenario containing both the HAP and the first
+// nSats Table II satellites — the paper's future-work hybrid architecture.
+func NewHybrid(nSats int, p Params) (*Scenario, error) {
+	elems, err := orbit.PaperConstellationWith(nSats, p.SatelliteAltitudeM, p.InclinationDeg)
+	if err != nil {
+		return nil, err
+	}
+	relays := make([]netsim.Node, 0, len(elems)+1)
+	relays = append(relays, netsim.NewHAPNode(HAPID, geo.LLA{LatDeg: p.HAPLatDeg, LonDeg: p.HAPLonDeg, AltM: p.HAPAltM}))
+	for i, e := range elems {
+		e.ApplyJ2 = p.UseJ2
+		relays = append(relays, netsim.NewSatelliteNode(fmt.Sprintf("SAT-%03d", i+1), e))
+	}
+	return assemble(Hybrid, p, relays)
+}
+
+// NewCustomScenario assembles a scenario over an arbitrary set of local
+// networks and relay nodes — the extension point for studies beyond the
+// paper's three-LAN region (see ExtendedNetworks and the statewide
+// experiment). LAN names must be unique and non-empty.
+func NewCustomScenario(arch Architecture, p Params, lans []LocalNetwork, relays []netsim.Node) (*Scenario, error) {
+	if len(lans) < 2 {
+		return nil, fmt.Errorf("qntn: need at least two local networks, got %d", len(lans))
+	}
+	seen := make(map[string]bool, len(lans))
+	for _, lan := range lans {
+		if lan.Name == "" || seen[lan.Name] {
+			return nil, fmt.Errorf("qntn: duplicate or empty LAN name %q", lan.Name)
+		}
+		if len(lan.Nodes) == 0 {
+			return nil, fmt.Errorf("qntn: LAN %q has no nodes", lan.Name)
+		}
+		seen[lan.Name] = true
+	}
+	return assembleWith(arch, p, lans, relays)
+}
+
+func assemble(arch Architecture, p Params, relays []netsim.Node) (*Scenario, error) {
+	return assembleWith(arch, p, GroundNetworks(), relays)
+}
+
+func assembleWith(arch Architecture, p Params, lans []LocalNetwork, relays []netsim.Node) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		Arch:         arch,
+		Params:       p,
+		LANs:         lans,
+		GroundIDs:    make(map[string][]string),
+		fiber:        p.Fiber(),
+		spaceFSO:     p.SpaceDownlinkFSO(),
+		hapFSO:       p.HAPDownlinkFSO(),
+		policy:       p.LinkPolicy(),
+		groundByID:   make(map[string]*netsim.GroundHost),
+		satAltM:      p.SatelliteAltitudeM,
+		islClearance: p.ISLClearanceAltM,
+	}
+	sc.Net = netsim.NewNetwork(netsim.LinkModelFunc(sc.evaluateLink))
+
+	for _, lan := range sc.LANs {
+		for i, pos := range lan.Nodes {
+			id := NodeID(lan.Name, i)
+			host := netsim.NewGroundHost(id, lan.Name, pos)
+			if err := sc.Net.Add(host); err != nil {
+				return nil, err
+			}
+			sc.GroundIDs[lan.Name] = append(sc.GroundIDs[lan.Name], id)
+			sc.groundByID[id] = host
+		}
+	}
+	for _, r := range relays {
+		if err := sc.Net.Add(r); err != nil {
+			return nil, err
+		}
+		sc.RelayIDs = append(sc.RelayIDs, r.ID())
+		sc.relays = append(sc.relays, r)
+	}
+	return sc, nil
+}
+
+// EvaluateLink exposes the scenario's link physics for a node pair at time
+// t. Unknown IDs yield no link.
+func (sc *Scenario) EvaluateLink(aID, bID string, t time.Duration) (float64, bool) {
+	a, b := sc.Net.Node(aID), sc.Net.Node(bID)
+	if a == nil || b == nil || aID == bID {
+		return 0, false
+	}
+	return sc.evaluateLink(a, b, t)
+}
+
+// evaluateLink implements the link physics + gating for every node-pair
+// combination. It is the netsim.LinkModel of the scenario.
+func (sc *Scenario) evaluateLink(a, b netsim.Node, t time.Duration) (float64, bool) {
+	// Order so that a.Kind() <= b.Kind() (Ground < Satellite < HAP).
+	if a.Kind() > b.Kind() {
+		a, b = b, a
+	}
+	switch {
+	case a.Kind() == netsim.Ground && b.Kind() == netsim.Ground:
+		return sc.fiberLink(a, b)
+	case a.Kind() == netsim.Ground && b.Kind() == netsim.Satellite:
+		return sc.groundSpaceLink(a, b, t, sc.spaceFSO)
+	case a.Kind() == netsim.Ground && b.Kind() == netsim.HAP:
+		return sc.groundSpaceLink(a, b, t, sc.hapFSO)
+	case a.Kind() == netsim.Satellite && b.Kind() == netsim.Satellite:
+		return sc.interSatelliteLink(a, b, t)
+	case a.Kind() == netsim.Satellite && b.Kind() == netsim.HAP:
+		return sc.satelliteHAPLink(a, b, t)
+	default:
+		return 0, false
+	}
+}
+
+// fiberLink connects ground hosts of the same local network over fiber.
+// Hosts in different networks have no direct channel (the paper's LANs are
+// fiber-internal; interconnection is the relays' job).
+func (sc *Scenario) fiberLink(a, b netsim.Node) (float64, bool) {
+	if a.Network() != b.Network() || a.Network() == "" {
+		return 0, false
+	}
+	d := a.PositionAt(0).Distance(b.PositionAt(0))
+	eta := sc.fiber.Transmissivity(d)
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// groundSpaceLink gates a ground↔relay FSO link on the elevation mask, the
+// darkness constraint (when enabled), and the transmissivity threshold.
+// The transmissivity is the downlink value (relay transmits, ground
+// receives): in the platform-source distribution model entangled photons
+// always travel downward.
+func (sc *Scenario) groundSpaceLink(ground, relay netsim.Node, t time.Duration, cfg channel.FSOConfig) (float64, bool) {
+	gh, ok := ground.(*netsim.GroundHost)
+	if !ok {
+		return 0, false
+	}
+	if sc.Params.RequireDarkness && !sc.sun.IsDark(gh.LLA(), t, sc.Params.twilight()) {
+		return 0, false
+	}
+	if relay.Kind() == netsim.HAP && !sc.hapAvailable(relay, t) {
+		return 0, false
+	}
+	look := geo.Look(gh.LLA(), relay.PositionAt(t))
+	if look.ElevationRad < sc.Params.MinElevationRad {
+		return 0, false
+	}
+	relayAlt := geo.ToLLA(relay.PositionAt(t)).AltM
+	eta := cfg.Transmissivity(channel.FSOGeometry{
+		RangeM:       look.SlantRangeM,
+		ElevationRad: look.ElevationRad,
+		LoAltM:       gh.LLA().AltM,
+		HiAltM:       relayAlt,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// interSatelliteLink gates an ISL on geometric line of sight (clearing the
+// atmosphere) and the transmissivity threshold; no elevation mask applies
+// between spaceborne terminals.
+func (sc *Scenario) interSatelliteLink(a, b netsim.Node, t time.Duration) (float64, bool) {
+	pa, pb := a.PositionAt(t), b.PositionAt(t)
+	if !geo.LineOfSight(pa, pb, sc.islClearance) {
+		return 0, false
+	}
+	eta := sc.spaceFSO.Transmissivity(channel.FSOGeometry{
+		RangeM:       pa.Distance(pb),
+		ElevationRad: geo.ElevationBetween(pa, pb),
+		LoAltM:       geo.ToLLA(pa).AltM,
+		HiAltM:       geo.ToLLA(pb).AltM,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// satelliteHAPLink supports the hybrid architecture: satellite transmits
+// with the space terminal, the HAP receives through its small aperture.
+func (sc *Scenario) satelliteHAPLink(sat, hap netsim.Node, t time.Duration) (float64, bool) {
+	ps, ph := sat.PositionAt(t), hap.PositionAt(t)
+	if !geo.LineOfSight(ps, ph, sc.islClearance) {
+		return 0, false
+	}
+	cfg := sc.spaceFSO
+	cfg.RxApertureRadiusM = sc.Params.HAPApertureRadiusM
+	hapLLA := geo.ToLLA(ph)
+	elev := geo.ElevationBetween(ps, ph)
+	if elev < sc.Params.MinElevationRad {
+		return 0, false
+	}
+	eta := cfg.Transmissivity(channel.FSOGeometry{
+		RangeM:       ps.Distance(ph),
+		ElevationRad: elev,
+		LoAltM:       hapLLA.AltM,
+		HiAltM:       geo.ToLLA(ps).AltM,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// Graph returns the usable-link transmissivity graph at virtual time t.
+func (sc *Scenario) Graph(t time.Duration) (*routing.Graph, error) {
+	return sc.Net.Snapshot(t)
+}
+
+// Routes computes the converged Algorithm 1 routing tables for the topology
+// at time t.
+func (sc *Scenario) Routes(t time.Duration) (*routing.Tables, *routing.Graph, error) {
+	g, err := sc.Graph(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return routing.BellmanFord(g, sc.Params.RoutingEpsilon), g, nil
+}
+
+// NetworkOf returns the LAN name of a ground host ID ("" for relays and
+// unknown IDs).
+func (sc *Scenario) NetworkOf(id string) string {
+	if h, ok := sc.groundByID[id]; ok {
+		return h.Network()
+	}
+	return ""
+}

@@ -1,0 +1,97 @@
+package qntn
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/orbit"
+	"qntn/internal/stats"
+)
+
+// ServeConfig parameterizes the paper's §IV-B/§IV-C experiments:
+// RequestsPerStep random inter-LAN requests are attempted at each of Steps
+// topology instants spread evenly over Horizon, and the served fraction and
+// average fidelity of resolved requests are reported.
+type ServeConfig struct {
+	RequestsPerStep int           // paper: 100
+	Steps           int           // paper: 100 "time steps of satellite movement"
+	Horizon         time.Duration // period the steps sample; default one day
+	Seed            int64
+}
+
+// DefaultServeConfig returns the paper's workload.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{RequestsPerStep: 100, Steps: 100, Horizon: orbit.Day, Seed: 1}
+}
+
+// ServeResult aggregates one serve experiment.
+type ServeResult struct {
+	Config  ServeConfig
+	Metrics netsim.Metrics
+	// ServedPercent is the paper's "percentage of served requests".
+	ServedPercent float64
+	// MeanFidelity is the average end-to-end fidelity over served
+	// requests.
+	MeanFidelity float64
+	// FidelitySummary describes the served-fidelity distribution.
+	FidelitySummary stats.Summary
+	// MeanPathEta is the average end-to-end transmissivity of served
+	// requests.
+	MeanPathEta float64
+}
+
+// RunServe executes the serve experiment against the scenario. At each
+// step it snapshots the topology, converges the Algorithm 1 routing tables
+// once, and attempts every request of the batch: a request is served when a
+// path exists; its fidelity follows the scenario's FidelityModel applied to
+// the path's per-hop transmissivities.
+func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
+	if cfg.RequestsPerStep <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("qntn: serve config requires positive requests and steps")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = orbit.Day
+	}
+	res := &ServeResult{Config: cfg}
+	wl := NewWorkload(sc, cfg.Seed)
+
+	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
+	if stepGap <= 0 {
+		stepGap = sc.Params.StepInterval
+	}
+
+	var fids, etas []float64
+	for step := 0; step < cfg.Steps; step++ {
+		at := time.Duration(step) * stepGap
+		tables, graph, err := sc.Routes(at)
+		if err != nil {
+			return nil, err
+		}
+		for _, req := range wl.Batch(cfg.RequestsPerStep) {
+			out := netsim.Outcome{Request: req, At: at}
+			if tables.Reachable(req.Src, req.Dst) {
+				path, err := tables.Path(req.Src, req.Dst)
+				if err != nil {
+					return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
+				}
+				hopEtas, err := graph.EdgeEtas(path)
+				if err != nil {
+					return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
+				}
+				out.Served = true
+				out.Path = path
+				out.EndToEndEta = product(hopEtas)
+				out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
+				fids = append(fids, out.Fidelity)
+				etas = append(etas, out.EndToEndEta)
+			}
+			res.Metrics.Record(out)
+		}
+	}
+	res.ServedPercent = 100 * res.Metrics.ServedFraction()
+	res.MeanFidelity = res.Metrics.MeanServedFidelity()
+	res.FidelitySummary = stats.Summarize(fids)
+	res.MeanPathEta = stats.Mean(etas)
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package qntn
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/netsim"
+)
+
+// CoveragePoint is one mark of the paper's Fig. 6 sweep.
+type CoveragePoint struct {
+	Satellites int
+	Result     CoverageResult
+}
+
+// PaperSweepSizes returns the paper's constellation sizes: 6, 12, ..., 108.
+func PaperSweepSizes() []int {
+	sizes := make([]int, 0, 18)
+	for n := 6; n <= 108; n += 6 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// CoverageSweep computes the Fig. 6 curve — full-period coverage percentage
+// as a function of constellation size — for every requested prefix of the
+// Table II catalog.
+//
+// Because the paper's constellations are nested prefixes of Table II, the
+// sweep propagates the full 108-satellite scenario once, caches which
+// satellites cover which LAN (and which satellite pairs hold a usable ISL)
+// at every step, and then answers each size with a union-find over the
+// cached booleans. This is exactly equivalent to running
+// Scenario.Coverage per size, at a small fraction of the cost; the
+// equivalence is asserted in the test suite.
+func CoverageSweep(p Params, sizes []int, duration time.Duration) ([]CoveragePoint, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("qntn: empty size list")
+	}
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	sc, err := NewSpaceGround(maxN, p)
+	if err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("qntn: non-positive duration %v", duration)
+	}
+	step := p.StepInterval
+	nLAN := len(sc.LANs)
+
+	// Representative hosts per LAN for the early-exit coverage check.
+	lanHosts := make([][]netsim.Node, nLAN)
+	for li, lan := range sc.LANs {
+		for _, id := range sc.GroundIDs[lan.Name] {
+			lanHosts[li] = append(lanHosts[li], sc.Net.Node(id))
+		}
+	}
+	sats := sc.relays
+
+	results := make([]CoverageResult, len(sizes))
+	for i := range results {
+		results[i].Total = duration
+	}
+
+	coversLAN := make([]bool, maxN*nLAN)
+	islNbr := make([][]int, maxN)
+	uf := newUnionFind(nLAN + maxN)
+
+	for at := time.Duration(0); at+step <= duration; at += step {
+		// Phase 1: evaluate physics once for the largest constellation.
+		for si, sat := range sats {
+			islNbr[si] = islNbr[si][:0]
+			for li := range lanHosts {
+				covered := false
+				for _, h := range lanHosts[li] {
+					if _, ok := sc.evaluateLink(h, sat, at); ok {
+						covered = true
+						break
+					}
+				}
+				coversLAN[si*nLAN+li] = covered
+			}
+		}
+		for i := 0; i < len(sats); i++ {
+			for j := i + 1; j < len(sats); j++ {
+				if _, ok := sc.evaluateLink(sats[i], sats[j], at); ok {
+					islNbr[i] = append(islNbr[i], j)
+				}
+			}
+		}
+
+		// Phase 2: answer each size from the cache.
+		for ri, n := range sizes {
+			res := &results[ri]
+			res.Steps++
+			if !bridgedPrefix(uf, coversLAN, islNbr, nLAN, n) {
+				continue
+			}
+			res.CoveredSteps++
+			res.Covered += step
+			start := at
+			end := at + step
+			if k := len(res.Intervals); k > 0 && res.Intervals[k-1].End == start {
+				res.Intervals[k-1].End = end
+			} else {
+				res.Intervals = append(res.Intervals, Interval{Start: start, End: end})
+			}
+		}
+	}
+
+	points := make([]CoveragePoint, len(sizes))
+	for i, n := range sizes {
+		points[i] = CoveragePoint{Satellites: n, Result: results[i]}
+	}
+	return points, nil
+}
+
+// bridgedPrefix checks whether the first n satellites bridge all LANs,
+// reusing a preallocated union-find (elements 0..nLAN-1 are LANs,
+// nLAN+i is satellite i).
+func bridgedPrefix(uf *unionFind, coversLAN []bool, islNbr [][]int, nLAN, n int) bool {
+	uf.reset(nLAN + n)
+	for si := 0; si < n; si++ {
+		for li := 0; li < nLAN; li++ {
+			if coversLAN[si*nLAN+li] {
+				uf.union(li, nLAN+si)
+			}
+		}
+		for _, j := range islNbr[si] {
+			if j < n {
+				uf.union(nLAN+si, nLAN+j)
+			}
+		}
+	}
+	root := uf.find(0)
+	for li := 1; li < nLAN; li++ {
+		if uf.find(li) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// reset reinitializes the first n elements of the union-find.
+func (uf *unionFind) reset(n int) {
+	for i := 0; i < n; i++ {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+}
+
+// ServePoint is one mark of the paper's Fig. 7 / Fig. 8 sweeps.
+type ServePoint struct {
+	Satellites int
+	Result     ServeResult
+}
+
+// ServeSweep runs the serve experiment (Fig. 7: served percentage; Fig. 8:
+// average fidelity) for each constellation size. Sizes are evaluated
+// independently with identical workload seeds so the request sequences
+// match across sizes.
+func ServeSweep(p Params, sizes []int, cfg ServeConfig) ([]ServePoint, error) {
+	points := make([]ServePoint, 0, len(sizes))
+	for _, n := range sizes {
+		sc, err := NewSpaceGround(n, p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.RunServe(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("qntn: serve sweep at %d satellites: %w", n, err)
+		}
+		points = append(points, ServePoint{Satellites: n, Result: *res})
+	}
+	return points, nil
+}

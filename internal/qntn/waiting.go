@@ -1,0 +1,118 @@
+package qntn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qntn/internal/stats"
+)
+
+// WaitingConfig parameterizes the queueing extension: the paper assumes
+// infinite queue capacity and instant service while in range; this
+// experiment quantifies what that queue actually costs — how long a
+// request arriving at a random time waits until its LAN pair is bridged.
+type WaitingConfig struct {
+	// Arrivals is the number of requests, arriving uniformly at random
+	// over the horizon.
+	Arrivals int
+	// Horizon is the observation period (default one day).
+	Horizon time.Duration
+	Seed    int64
+}
+
+// DefaultWaitingConfig matches the paper's workload scale.
+func DefaultWaitingConfig() WaitingConfig {
+	return WaitingConfig{Arrivals: 1000, Horizon: 24 * time.Hour, Seed: 1}
+}
+
+// WaitingResult summarizes queueing delay for one scenario.
+type WaitingResult struct {
+	Config WaitingConfig
+	// ImmediatePercent is the fraction of requests served on arrival
+	// (their LAN pair already bridged).
+	ImmediatePercent float64
+	// ServedPercent counts requests eventually served within the horizon
+	// (unserved ones wait past the end and are censored).
+	ServedPercent float64
+	// Wait statistics over served requests, in seconds.
+	MeanWait   time.Duration
+	MedianWait time.Duration
+	P95Wait    time.Duration
+	MaxWait    time.Duration
+}
+
+// WaitingTimes runs the queueing experiment: per-pair coverage intervals
+// are computed once, then each synthetic arrival waits for the next
+// interval covering its pair.
+func (sc *Scenario) WaitingTimes(cfg WaitingConfig) (*WaitingResult, error) {
+	if cfg.Arrivals <= 0 {
+		return nil, fmt.Errorf("qntn: waiting experiment needs positive arrivals")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 24 * time.Hour
+	}
+	detail, err := sc.DetailedCoverage(cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	intervalsByPair := make(map[[2]string][]Interval, len(detail.Pairs))
+	for _, p := range detail.Pairs {
+		intervalsByPair[[2]string{p.NetworkA, p.NetworkB}] = p.Result.Intervals
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := make([][2]string, 0, len(intervalsByPair))
+	for _, p := range detail.Pairs {
+		pairs = append(pairs, [2]string{p.NetworkA, p.NetworkB})
+	}
+
+	var waits []float64
+	immediate, served := 0, 0
+	for i := 0; i < cfg.Arrivals; i++ {
+		at := time.Duration(rng.Int63n(int64(cfg.Horizon)))
+		pair := pairs[rng.Intn(len(pairs))]
+		wait, ok := waitUntilCovered(intervalsByPair[pair], at)
+		if !ok {
+			continue // censored: no coverage until the horizon
+		}
+		served++
+		if wait == 0 {
+			immediate++
+		}
+		waits = append(waits, wait.Seconds())
+	}
+
+	res := &WaitingResult{Config: cfg}
+	res.ServedPercent = 100 * float64(served) / float64(cfg.Arrivals)
+	res.ImmediatePercent = 100 * float64(immediate) / float64(cfg.Arrivals)
+	if len(waits) > 0 {
+		res.MeanWait = secs(stats.Mean(waits))
+		res.MedianWait = secs(stats.Percentile(waits, 50))
+		res.P95Wait = secs(stats.Percentile(waits, 95))
+		sorted := append([]float64(nil), waits...)
+		sort.Float64s(sorted)
+		res.MaxWait = secs(sorted[len(sorted)-1])
+	}
+	return res, nil
+}
+
+// waitUntilCovered returns how long an arrival at `at` waits until the pair
+// is covered, and false if no covering interval begins before the horizon
+// ends.
+func waitUntilCovered(intervals []Interval, at time.Duration) (time.Duration, bool) {
+	for _, iv := range intervals {
+		if at < iv.Start {
+			return iv.Start - at, true
+		}
+		if at < iv.End {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,114 @@
+package qntn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitingTimesAirGroundZero(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.WaitingTimes(WaitingConfig{Arrivals: 200, Horizon: time.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedPercent != 100 || res.ImmediatePercent != 100 {
+		t.Fatalf("air-ground should serve everything immediately: %+v", res)
+	}
+	if res.MeanWait != 0 || res.MaxWait != 0 {
+		t.Fatalf("air-ground wait should be zero: %+v", res)
+	}
+}
+
+func TestWaitingTimesSpaceGround(t *testing.T) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.WaitingTimes(WaitingConfig{Arrivals: 300, Horizon: 3 * time.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the arrivals land inside a coverage window.
+	if res.ImmediatePercent < 20 || res.ImmediatePercent > 90 {
+		t.Fatalf("immediate service %.2f%% implausible", res.ImmediatePercent)
+	}
+	if res.ImmediatePercent >= res.ServedPercent+1e-9 {
+		t.Fatal("immediate cannot exceed served")
+	}
+	// Gaps between passes are minutes-scale at 108 satellites.
+	if res.MeanWait <= 0 || res.MeanWait > time.Hour {
+		t.Fatalf("mean wait %v implausible", res.MeanWait)
+	}
+	if res.MedianWait > res.P95Wait || res.P95Wait > res.MaxWait {
+		t.Fatalf("wait quantiles out of order: %+v", res)
+	}
+}
+
+func TestWaitingTimesFewerSatellitesWaitLonger(t *testing.T) {
+	p := DefaultParams()
+	small, err := NewSpaceGround(24, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewSpaceGround(108, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WaitingConfig{Arrivals: 300, Horizon: 3 * time.Hour, Seed: 7}
+	rs, err := small.WaitingTimes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.WaitingTimes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MeanWait <= rb.MeanWait {
+		t.Fatalf("24 sats wait %v not above 108 sats %v", rs.MeanWait, rb.MeanWait)
+	}
+	if rs.ImmediatePercent >= rb.ImmediatePercent {
+		t.Fatalf("24 sats immediate %.1f%% not below 108 sats %.1f%%", rs.ImmediatePercent, rb.ImmediatePercent)
+	}
+}
+
+func TestWaitUntilCovered(t *testing.T) {
+	ivs := []Interval{
+		{Start: 10 * time.Minute, End: 20 * time.Minute},
+		{Start: 40 * time.Minute, End: 50 * time.Minute},
+	}
+	cases := []struct {
+		at   time.Duration
+		wait time.Duration
+		ok   bool
+	}{
+		{0, 10 * time.Minute, true},
+		{10 * time.Minute, 0, true},
+		{15 * time.Minute, 0, true},
+		{20 * time.Minute, 20 * time.Minute, true}, // end is exclusive
+		{45 * time.Minute, 0, true},
+		{50 * time.Minute, 0, false},
+		{time.Hour, 0, false},
+	}
+	for _, c := range cases {
+		wait, ok := waitUntilCovered(ivs, c.at)
+		if wait != c.wait || ok != c.ok {
+			t.Errorf("at %v: got (%v,%v), want (%v,%v)", c.at, wait, ok, c.wait, c.ok)
+		}
+	}
+	if _, ok := waitUntilCovered(nil, 0); ok {
+		t.Error("no intervals should mean never covered")
+	}
+}
+
+func TestWaitingTimesRejectsBadConfig(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.WaitingTimes(WaitingConfig{Arrivals: 0}); err == nil {
+		t.Fatal("zero arrivals accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatrixMul4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m1 := randomMatrix(rng, 4)
+	m2 := randomMatrix(rng, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m1.Mul(m2)
+	}
+}
+
+func BenchmarkMatrixMul16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m1 := randomMatrix(rng, 16)
+	m2 := randomMatrix(rng, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m1.Mul(m2)
+	}
+}
+
+func BenchmarkEigenHermitian4(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomHermitian(rng, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigenHermitian(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenHermitian16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomHermitian(rng, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigenHermitian(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUhlmannFidelity(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	rho := randomDensity(rng, 2)
+	sigma := randomDensity(rng, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fidelity(rho, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBellFidelityFastPath(b *testing.B) {
+	rho, err := DistributeBellPair(0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BellFidelity(rho)
+	}
+}
+
+func BenchmarkAmplitudeDampingApply(b *testing.B) {
+	ch, err := AmplitudeDamping(0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lifted := ch.OnQubit(1, 2)
+	rho := PhiPlus().Density()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lifted.Apply(rho)
+	}
+}
+
+func BenchmarkEntanglementSwap(b *testing.B) {
+	p1, err := DistributeBellPair(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := DistributeBellPair(0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Swap(p1, p2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwapChain4Hops(b *testing.B) {
+	etas := []float64{0.95, 0.9, 0.85, 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SwapChain(etas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Channel is a completely positive trace-preserving map described by Kraus
+// operators, applied to density matrices as rho' = sum_k K_k rho K_k†
+// (the paper's Eq. 4).
+type Channel struct {
+	Name  string
+	Kraus []*Matrix
+}
+
+// Apply returns the channel output sum_k K rho K†.
+func (c *Channel) Apply(rho *Matrix) *Matrix {
+	if len(c.Kraus) == 0 {
+		return rho.Clone()
+	}
+	out := NewMatrix(rho.N)
+	for _, k := range c.Kraus {
+		if k.N != rho.N {
+			panic(fmt.Sprintf("quantum: channel %q: Kraus dim %d vs state dim %d", c.Name, k.N, rho.N))
+		}
+		term := k.Mul(rho).Mul(k.Dagger())
+		out = out.Add(term)
+	}
+	return out
+}
+
+// IsTracePreserving verifies sum_k K† K = I within tol.
+func (c *Channel) IsTracePreserving(tol float64) bool {
+	if len(c.Kraus) == 0 {
+		return true
+	}
+	n := c.Kraus[0].N
+	sum := NewMatrix(n)
+	for _, k := range c.Kraus {
+		sum = sum.Add(k.Dagger().Mul(k))
+	}
+	return sum.MaxAbsDiff(Identity(n)) <= tol
+}
+
+// AmplitudeDamping returns the single-qubit amplitude-damping channel with
+// transmissivity eta, with Kraus operators exactly as in the paper's
+// Eq. (3):
+//
+//	K0 = [[1, 0], [0, sqrt(eta)]]
+//	K1 = [[0, sqrt(1-eta)], [0, 0]]
+func AmplitudeDamping(eta float64) (*Channel, error) {
+	// Tolerate tiny floating-point overshoot from products/sweeps of
+	// transmissivities; reject anything materially outside [0,1].
+	const slack = 1e-9
+	if eta < -slack || eta > 1+slack || eta != eta {
+		return nil, fmt.Errorf("quantum: amplitude damping transmissivity %v outside [0,1]", eta)
+	}
+	if eta < 0 {
+		eta = 0
+	} else if eta > 1 {
+		eta = 1
+	}
+	k0 := NewMatrix(2)
+	k0.Set(0, 0, 1)
+	k0.Set(1, 1, complex(math.Sqrt(eta), 0))
+	k1 := NewMatrix(2)
+	k1.Set(0, 1, complex(math.Sqrt(1-eta), 0))
+	return &Channel{Name: fmt.Sprintf("amplitude-damping(η=%.4f)", eta), Kraus: []*Matrix{k0, k1}}, nil
+}
+
+// OnQubit lifts a single-qubit channel to act on qubit k (0 = most
+// significant) of an n-qubit system, tensoring identities on the remaining
+// qubits.
+func (c *Channel) OnQubit(k, nQubits int) *Channel {
+	if k < 0 || k >= nQubits {
+		panic(fmt.Sprintf("quantum: OnQubit: qubit %d out of range [0,%d)", k, nQubits))
+	}
+	lifted := make([]*Matrix, 0, len(c.Kraus))
+	for _, op := range c.Kraus {
+		if op.N != 2 {
+			panic("quantum: OnQubit requires a single-qubit channel")
+		}
+		m := Identity(1)
+		for q := 0; q < nQubits; q++ {
+			if q == k {
+				m = m.Tensor(op)
+			} else {
+				m = m.Tensor(Identity(2))
+			}
+		}
+		lifted = append(lifted, m)
+	}
+	return &Channel{Name: fmt.Sprintf("%s@qubit%d/%d", c.Name, k, nQubits), Kraus: lifted}
+}
+
+// Compose returns the channel that applies c first and then d
+// (d ∘ c). Kraus operators multiply pairwise.
+func Compose(c, d *Channel) *Channel {
+	ops := make([]*Matrix, 0, len(c.Kraus)*len(d.Kraus))
+	for _, kd := range d.Kraus {
+		for _, kc := range c.Kraus {
+			ops = append(ops, kd.Mul(kc))
+		}
+	}
+	return &Channel{Name: d.Name + "∘" + c.Name, Kraus: ops}
+}
+
+// DampBellArm applies an amplitude-damping channel of transmissivity eta to
+// the second qubit of a two-qubit state — the paper's model of sending one
+// photon of a Bell pair across a lossy link.
+func DampBellArm(rho *Matrix, eta float64) (*Matrix, error) {
+	if rho.N != 4 {
+		return nil, fmt.Errorf("quantum: DampBellArm requires a 2-qubit state, got dim %d", rho.N)
+	}
+	ad, err := AmplitudeDamping(eta)
+	if err != nil {
+		return nil, err
+	}
+	return ad.OnQubit(1, 2).Apply(rho), nil
+}
+
+// DistributeBellPair prepares |Φ+><Φ+| and sends the second qubit through
+// an amplitude-damping channel with end-to-end transmissivity eta,
+// returning the shared state. This is the elementary operation of the
+// paper's entanglement distribution experiments.
+func DistributeBellPair(eta float64) (*Matrix, error) {
+	return DampBellArm(PhiPlus().Density(), eta)
+}

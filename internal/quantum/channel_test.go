@@ -1,0 +1,142 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmplitudeDampingKrausMatchEq3(t *testing.T) {
+	eta := 0.49
+	ch, err := AmplitudeDamping(eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1 := ch.Kraus[0], ch.Kraus[1]
+	if k0.At(0, 0) != 1 || !almostEq(real(k0.At(1, 1)), math.Sqrt(eta), 1e-15) {
+		t.Fatalf("K0 wrong: %v", k0)
+	}
+	if !almostEq(real(k1.At(0, 1)), math.Sqrt(1-eta), 1e-15) || k1.At(1, 0) != 0 {
+		t.Fatalf("K1 wrong: %v", k1)
+	}
+}
+
+func TestAmplitudeDampingRange(t *testing.T) {
+	for _, eta := range []float64{-0.1, 1.1, math.Inf(1)} {
+		if _, err := AmplitudeDamping(eta); err == nil {
+			t.Errorf("expected error for eta=%v", eta)
+		}
+	}
+}
+
+func TestAmplitudeDampingTracePreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eta := rng.Float64()
+		ch, err := AmplitudeDamping(eta)
+		if err != nil {
+			return false
+		}
+		if !ch.IsTracePreserving(1e-12) {
+			return false
+		}
+		rho := randomDensity(rng, 1)
+		out := ch.Apply(rho)
+		return almostEq(real(out.Trace()), 1, 1e-10) && out.IsHermitian(1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmplitudeDampingGroundStateFixed(t *testing.T) {
+	// |0><0| is a fixed point of amplitude damping for any eta.
+	ground := Basis(2, 0).Density()
+	for _, eta := range []float64{0, 0.3, 1} {
+		ch, err := AmplitudeDamping(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Apply(ground).MaxAbsDiff(ground) > 1e-12 {
+			t.Errorf("|0> not fixed for eta=%g", eta)
+		}
+	}
+}
+
+func TestAmplitudeDampingExcitedDecay(t *testing.T) {
+	// |1><1| decays to eta|1><1| + (1-eta)|0><0|.
+	excited := Basis(2, 1).Density()
+	eta := 0.6
+	ch, err := AmplitudeDamping(eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ch.Apply(excited)
+	if !almostEq(real(out.At(0, 0)), 1-eta, 1e-12) || !almostEq(real(out.At(1, 1)), eta, 1e-12) {
+		t.Fatalf("excited state decay wrong: %v", out)
+	}
+}
+
+func TestComposeAmplitudeDamping(t *testing.T) {
+	// AD(eta2) ∘ AD(eta1) = AD(eta1*eta2): losses multiply along a path.
+	eta1, eta2 := 0.8, 0.9
+	ad1, _ := AmplitudeDamping(eta1)
+	ad2, _ := AmplitudeDamping(eta2)
+	composed := Compose(ad1, ad2)
+	direct, _ := AmplitudeDamping(eta1 * eta2)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		rho := randomDensity(rng, 1)
+		a := composed.Apply(rho)
+		b := direct.Apply(rho)
+		if a.MaxAbsDiff(b) > 1e-12 {
+			t.Fatalf("composition != product transmissivity, diff %g", a.MaxAbsDiff(b))
+		}
+	}
+	if !composed.IsTracePreserving(1e-12) {
+		t.Fatal("composed channel not trace preserving")
+	}
+}
+
+func TestOnQubitActsOnCorrectQubit(t *testing.T) {
+	// Damping qubit 1 of |11> leaves qubit 0 excited.
+	state := Basis(2, 1).Tensor(Basis(2, 1)).Density() // |11>
+	ch, _ := AmplitudeDamping(0)                       // full damping
+	out := ch.OnQubit(1, 2).Apply(state)
+	want := Basis(2, 1).Tensor(Basis(2, 0)).Density() // |10>
+	if out.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("OnQubit(1) result wrong:\n%v", out)
+	}
+	out0 := ch.OnQubit(0, 2).Apply(state)
+	want0 := Basis(2, 0).Tensor(Basis(2, 1)).Density() // |01>
+	if out0.MaxAbsDiff(want0) > 1e-12 {
+		t.Fatalf("OnQubit(0) result wrong:\n%v", out0)
+	}
+}
+
+func TestOnQubitTracePreserving(t *testing.T) {
+	ch, _ := AmplitudeDamping(0.42)
+	for n := 2; n <= 4; n++ {
+		for q := 0; q < n; q++ {
+			if !ch.OnQubit(q, n).IsTracePreserving(1e-10) {
+				t.Errorf("lifted channel (qubit %d of %d) not trace preserving", q, n)
+			}
+		}
+	}
+}
+
+func TestIdentityChannelNoOp(t *testing.T) {
+	ch, _ := AmplitudeDamping(1)
+	rng := rand.New(rand.NewSource(31))
+	rho := randomDensity(rng, 1)
+	if ch.Apply(rho).MaxAbsDiff(rho) > 1e-12 {
+		t.Fatal("eta=1 damping should be the identity channel")
+	}
+}
+
+func TestDampBellArmRequiresTwoQubits(t *testing.T) {
+	if _, err := DampBellArm(Identity(2), 0.5); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,89 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CorrelationMatrix returns the 3×3 real correlation matrix
+// T_ij = Tr(ρ σ_i ⊗ σ_j) of a two-qubit state.
+func CorrelationMatrix(rho *Matrix) ([3][3]float64, error) {
+	var t [3][3]float64
+	if rho.N != 4 {
+		return t, fmt.Errorf("quantum: correlation matrix needs a 2-qubit state, got dim %d", rho.N)
+	}
+	paulis := []*Matrix{PauliX(), PauliY(), PauliZ()}
+	for i, si := range paulis {
+		for j, sj := range paulis {
+			op := si.Tensor(sj)
+			t[i][j] = real(op.Mul(rho).Trace())
+		}
+	}
+	return t, nil
+}
+
+// CHSHMax returns the maximal CHSH value S achievable on the state with
+// optimally chosen measurement settings, via the Horodecki criterion:
+// S = 2·sqrt(m1 + m2) where m1 ≥ m2 are the two largest eigenvalues of
+// TᵀT. States with S > 2 violate the CHSH inequality (certifiable
+// nonlocality); the maximum for quantum states is 2√2 ≈ 2.828.
+func CHSHMax(rho *Matrix) (float64, error) {
+	t, err := CorrelationMatrix(rho)
+	if err != nil {
+		return 0, err
+	}
+	// M = TᵀT as a complex Hermitian matrix for the eigensolver.
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var sum float64
+			for k := 0; k < 3; k++ {
+				sum += t[k][i] * t[k][j]
+			}
+			m.Set(i, j, complex(sum, 0))
+		}
+	}
+	eig, err := EigenHermitian(m)
+	if err != nil {
+		return 0, err
+	}
+	vals := append([]float64(nil), eig.Values...)
+	sort.Float64s(vals)
+	s := 2 * math.Sqrt(math.Max(0, vals[2]+vals[1]))
+	return s, nil
+}
+
+// ViolatesCHSH reports whether the state certifiably violates the CHSH
+// inequality (S > 2 beyond numerical tolerance).
+func ViolatesCHSH(rho *Matrix) (bool, float64, error) {
+	s, err := CHSHMax(rho)
+	if err != nil {
+		return false, 0, err
+	}
+	return s > 2+1e-9, s, nil
+}
+
+// CHSHThresholdEta returns the smallest one-arm amplitude-damping
+// transmissivity at which a Bell pair still violates CHSH, found by bisection
+// — the nonlocality analog of the paper's Fig. 5 fidelity threshold.
+func CHSHThresholdEta() (float64, error) {
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		rho, err := DistributeBellPair(mid)
+		if err != nil {
+			return 0, err
+		}
+		ok, _, err := ViolatesCHSH(rho)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

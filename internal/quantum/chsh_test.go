@@ -1,0 +1,129 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCHSHIdealBell(t *testing.T) {
+	for _, bell := range BellStates() {
+		s, err := CHSHMax(bell.Density())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(s, 2*math.Sqrt2, 1e-9) {
+			t.Fatalf("Bell state CHSH %g, want 2√2", s)
+		}
+	}
+}
+
+func TestCHSHProductState(t *testing.T) {
+	// |00><00| has T = diag(0,0,1): S = 2, no violation.
+	rho := Basis(4, 0).Density()
+	ok, s, err := ViolatesCHSH(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("product state violates CHSH with S=%g", s)
+	}
+	if !almostEq(s, 2, 1e-9) {
+		t.Fatalf("product state S=%g, want 2", s)
+	}
+}
+
+func TestCHSHWernerClosedForm(t *testing.T) {
+	// Werner state: T = -p·diag? For p|Φ+><Φ+| + (1-p)I/4 the correlation
+	// matrix is diag(p, -p, p): S = 2√2·p. Violation iff p > 1/√2.
+	for _, p := range []float64{0.3, 0.6, 1 / math.Sqrt2, 0.8, 1} {
+		s, err := CHSHMax(WernerState(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(s, 2*math.Sqrt2*p, 1e-9) {
+			t.Fatalf("Werner(%g) CHSH %g, want %g", p, s, 2*math.Sqrt2*p)
+		}
+		ok, _, err := ViolatesCHSH(WernerState(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p > 1/math.Sqrt2+1e-9; ok != want {
+			t.Fatalf("Werner(%g) violation=%v, want %v", p, ok, want)
+		}
+	}
+}
+
+func TestCHSHMaximallyMixed(t *testing.T) {
+	s, err := CHSHMax(Identity(4).Scale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s, 0, 1e-9) {
+		t.Fatalf("maximally mixed CHSH %g, want 0", s)
+	}
+}
+
+func TestCHSHMonotoneUnderDamping(t *testing.T) {
+	prev := 3.0
+	for eta := 1.0; eta >= 0; eta -= 0.1 {
+		rho, err := DistributeBellPair(math.Max(0, eta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CHSHMax(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > prev+1e-9 {
+			t.Fatalf("CHSH increased as eta fell at %g", eta)
+		}
+		prev = s
+	}
+}
+
+func TestCHSHThresholdEta(t *testing.T) {
+	eta, err := CHSHThresholdEta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The threshold must be in (0,1): damped pairs violate down to some
+	// finite transmissivity.
+	if eta <= 0.01 || eta >= 0.99 {
+		t.Fatalf("CHSH threshold eta %g implausible", eta)
+	}
+	// Check bracketing: just above violates, just below does not.
+	above, err := DistributeBellPair(math.Min(1, eta+0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, s, _ := ViolatesCHSH(above); !ok {
+		t.Fatalf("eta=%g should violate (S=%g)", eta+0.01, s)
+	}
+	below, err := DistributeBellPair(math.Max(0, eta-0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, s, _ := ViolatesCHSH(below); ok {
+		t.Fatalf("eta=%g should not violate (S=%g)", eta-0.01, s)
+	}
+	// The paper's 0.7 transmissivity threshold keeps distributed pairs
+	// nonlocal.
+	thr, err := DistributeBellPair(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, s, _ := ViolatesCHSH(thr); !ok {
+		t.Fatalf("paper-threshold pair should violate CHSH (S=%g)", s)
+	}
+}
+
+func TestCorrelationMatrixRejectsWrongDim(t *testing.T) {
+	if _, err := CorrelationMatrix(Identity(2)); err != nil {
+		// expected
+	} else {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := CHSHMax(Identity(8)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

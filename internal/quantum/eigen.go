@@ -1,0 +1,145 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Eigen holds the spectral decomposition of a Hermitian matrix:
+// A = V diag(Values) V†, with the columns of V the orthonormal
+// eigenvectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // column i is the eigenvector of Values[i]
+}
+
+// EigenHermitian computes the spectral decomposition of a Hermitian matrix
+// using the cyclic complex Jacobi method. The input must be Hermitian; a
+// defensive check rejects matrices whose Hermitian defect exceeds 1e-9.
+func EigenHermitian(a *Matrix) (*Eigen, error) {
+	if !a.IsHermitian(1e-9) {
+		return nil, fmt.Errorf("quantum: EigenHermitian: matrix is not Hermitian")
+	}
+	n := a.N
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-14 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if cmplx.Abs(apq) < 1e-16 {
+					continue
+				}
+				// Phase that makes the off-diagonal element real positive.
+				phi := cmplx.Phase(apq)
+				absApq := cmplx.Abs(apq)
+				app := real(m.At(p, p))
+				aqq := real(m.At(q, q))
+				// Classic Jacobi rotation on the 2x2 Hermitian block.
+				tau := (aqq - app) / (2 * absApq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Unitary J: J[p][p]=c, J[p][q]=-s*e^{i phi},
+				// J[q][p]=s*e^{-i phi}, J[q][q]=c. Apply A <- J† A J and
+				// V <- V J.
+				eip := cmplx.Exp(complex(0, phi))
+				emip := cmplx.Exp(complex(0, -phi))
+				cs := complex(c, 0)
+				ss := complex(s, 0)
+				// Update rows/columns p and q of m.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, cs*akp-ss*emip*akq)
+					m.Set(k, q, ss*eip*akp+cs*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, cs*apk-ss*eip*aqk)
+					m.Set(q, k, ss*emip*apk+cs*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cs*vkp-ss*emip*vkq)
+					v.Set(k, q, ss*eip*vkp+cs*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = real(m.At(i, i))
+	}
+	return &Eigen{Values: vals, Vectors: v}, nil
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part.
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	n := m.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a := cmplx.Abs(m.Data[i*n+j])
+			s += a * a
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Reconstruct returns V diag(Values) V†, which should equal the original
+// matrix. Exposed for tests.
+func (e *Eigen) Reconstruct() *Matrix {
+	return e.apply(func(x float64) float64 { return x })
+}
+
+// apply returns V diag(f(Values)) V†.
+func (e *Eigen) apply(f func(float64) float64) *Matrix {
+	n := e.Vectors.N
+	d := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		d.Data[i*n+i] = complex(f(e.Values[i]), 0)
+	}
+	return e.Vectors.Mul(d).Mul(e.Vectors.Dagger())
+}
+
+// SqrtPSD returns the principal square root of a positive semi-definite
+// Hermitian matrix. Small negative eigenvalues arising from floating-point
+// noise are clamped to zero; eigenvalues below -tol are reported as an
+// error.
+func SqrtPSD(a *Matrix) (*Matrix, error) {
+	const tol = 1e-8
+	e, err := EigenHermitian(a)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range e.Values {
+		if v < -tol {
+			return nil, fmt.Errorf("quantum: SqrtPSD: matrix has negative eigenvalue %g", v)
+		}
+	}
+	return e.apply(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return math.Sqrt(x)
+	}), nil
+}

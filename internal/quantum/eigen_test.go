@@ -1,0 +1,179 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenRejectsNonHermitian(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 1) // not Hermitian: conjugate entry missing
+	if _, err := EigenHermitian(m); err == nil {
+		t.Fatal("expected error for non-Hermitian input")
+	}
+}
+
+func TestEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, -1)
+	m.Set(2, 2, 0.5)
+	e, err := EigenHermitian(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), e.Values...)
+	sort.Float64s(got)
+	want := []float64{-1, 0.5, 3}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("eigenvalues %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenReconstruct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5) // 2..6
+		m := randomHermitian(rng, n)
+		e, err := EigenHermitian(m)
+		if err != nil {
+			return false
+		}
+		return e.Reconstruct().MaxAbsDiff(m) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenVectorsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		m := randomHermitian(rng, 4)
+		e, err := EigenHermitian(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vvd := e.Vectors.Mul(e.Vectors.Dagger())
+		if vvd.MaxAbsDiff(Identity(4)) > 1e-9 {
+			t.Fatalf("eigenvector matrix is not unitary, diff %g", vvd.MaxAbsDiff(Identity(4)))
+		}
+	}
+}
+
+func TestEigenTraceAndFrobeniusInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomHermitian(rng, 6)
+	e, err := EigenHermitian(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, v := range e.Values {
+		sum += v
+		sumSq += v * v
+	}
+	if !almostEq(sum, real(m.Trace()), 1e-9) {
+		t.Errorf("eigenvalue sum %g != trace %g", sum, real(m.Trace()))
+	}
+	var frob float64
+	for _, c := range m.Data {
+		frob += real(c)*real(c) + imag(c)*imag(c)
+	}
+	if !almostEq(sumSq, frob, 1e-8) {
+		t.Errorf("eigenvalue square sum %g != Frobenius norm² %g", sumSq, frob)
+	}
+}
+
+func TestSqrtPSD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := randomDensity(rng, 2)
+		s, err := SqrtPSD(rho)
+		if err != nil {
+			return false
+		}
+		// s must be Hermitian PSD with s*s = rho.
+		if !s.IsHermitian(1e-9) {
+			return false
+		}
+		return s.Mul(s).MaxAbsDiff(rho) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtPSDIdentity(t *testing.T) {
+	s, err := SqrtPSD(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxAbsDiff(Identity(4)) > 1e-10 {
+		t.Fatal("sqrt(I) != I")
+	}
+}
+
+func TestSqrtPSDRejectsNegative(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, -1)
+	m.Set(1, 1, 1)
+	if _, err := SqrtPSD(m); err == nil {
+		t.Fatal("expected error for negative-definite input")
+	}
+}
+
+func TestEigenComplexEntries(t *testing.T) {
+	// A Hermitian matrix with genuinely complex off-diagonals: Pauli Y has
+	// eigenvalues ±1.
+	e, err := EigenHermitian(PauliY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), e.Values...)
+	sort.Float64s(vals)
+	if !almostEq(vals[0], -1, 1e-12) || !almostEq(vals[1], 1, 1e-12) {
+		t.Fatalf("Pauli-Y eigenvalues %v, want [-1 1]", vals)
+	}
+	// Eigenvector check: A v = λ v for each column.
+	for i := 0; i < 2; i++ {
+		for r := 0; r < 2; r++ {
+			var av complex128
+			for c := 0; c < 2; c++ {
+				av += PauliY().At(r, c) * e.Vectors.At(c, i)
+			}
+			want := complex(e.Values[i], 0) * e.Vectors.At(r, i)
+			if cmplx.Abs(av-want) > 1e-10 {
+				t.Fatalf("A v != λ v for eigenpair %d", i)
+			}
+		}
+	}
+}
+
+func TestEigenNearDegenerate(t *testing.T) {
+	// Nearly degenerate spectrum must still reconstruct.
+	m := NewMatrix(3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1+1e-12)
+	m.Set(2, 2, 1-1e-12)
+	m.Set(0, 1, complex(1e-13, 1e-13))
+	m.Set(1, 0, complex(1e-13, -1e-13))
+	e, err := EigenHermitian(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Reconstruct().MaxAbsDiff(m) > 1e-10 {
+		t.Fatal("near-degenerate reconstruction failed")
+	}
+	for _, v := range e.Values {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("eigenvalue %g too far from 1", v)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFidelitySelfIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		rho := randomDensity(rng, 2)
+		f, err := Fidelity(rho, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(f, 1, 1e-8) {
+			t.Fatalf("F(rho,rho) = %g, want 1", f)
+		}
+	}
+}
+
+func TestFidelitySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := randomDensity(rng, 2)
+		sigma := randomDensity(rng, 2)
+		f1, err1 := Fidelity(rho, sigma)
+		f2, err2 := Fidelity(sigma, rho)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEq(f1, f2, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFidelityPurePureIsOverlap(t *testing.T) {
+	// F(|a><a|, |b><b|) = |<a|b>|.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		a := randomPure(rng, 4)
+		b := randomPure(rng, 4)
+		f, err := Fidelity(a.Density(), b.Density())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cmplx.Abs(a.InnerProduct(b))
+		if !almostEq(f, want, 1e-8) {
+			t.Fatalf("pure-pure fidelity %g, want overlap %g", f, want)
+		}
+	}
+}
+
+func TestFidelityWithPureMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		rho := randomDensity(rng, 2)
+		psi := randomPure(rng, 4)
+		fast := FidelityWithPure(rho, psi)
+		gen, err := Fidelity(rho, psi.Density())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(fast, gen, 1e-7) {
+			t.Fatalf("fast pure fidelity %g != general %g", fast, gen)
+		}
+	}
+}
+
+func TestWernerFidelityClosedForm(t *testing.T) {
+	// Root fidelity of a Werner state against Φ+ is sqrt(p + (1-p)/4).
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		rho := WernerState(p)
+		got := BellFidelity(rho)
+		want := math.Sqrt(p + (1-p)/4)
+		if !almostEq(got, want, 1e-10) {
+			t.Errorf("Werner(p=%g): fidelity %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestDampedBellMatchesAnalytic(t *testing.T) {
+	// The load-bearing identity of the whole experiment harness: Bell pair
+	// with one amplitude-damped arm has root fidelity (1+sqrt(eta))/2.
+	for eta := 0.0; eta <= 1.0001; eta += 0.05 {
+		rho, err := DistributeBellPair(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFast := BellFidelity(rho)
+		want := AnalyticBellFidelity(eta)
+		if !almostEq(gotFast, want, 1e-10) {
+			t.Fatalf("eta=%.2f: BellFidelity %g, want %g", eta, gotFast, want)
+		}
+		gotGen, err := Fidelity(rho, PhiPlus().Density())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(gotGen, want, 1e-7) {
+			t.Fatalf("eta=%.2f: general fidelity %g, want %g", eta, gotGen, want)
+		}
+	}
+}
+
+func TestFidelitySquaredIsSquare(t *testing.T) {
+	rho, err := DistributeBellPair(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Fidelity(rho, PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FidelitySquared(rho, PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f2, f*f, 1e-12) {
+		t.Fatalf("FidelitySquared %g != %g²", f2, f)
+	}
+}
+
+func TestPaperFig5Anchor(t *testing.T) {
+	// The paper's Fig. 5 finding: transmissivity 0.7 yields fidelity > 0.9.
+	f := AnalyticBellFidelity(0.7)
+	if f <= 0.9 {
+		t.Fatalf("fidelity at eta=0.7 is %g, paper requires > 0.9", f)
+	}
+	// And the squared (literal Eq. 5) value does NOT exceed 0.9 — this is
+	// the discrepancy documented in DESIGN.md.
+	if f*f > 0.9 {
+		t.Fatalf("squared fidelity at eta=0.7 is %g; expected the documented < 0.9", f*f)
+	}
+}
+
+func TestAnalyticBothArmsReducesToOneArm(t *testing.T) {
+	// With one arm lossless the both-arm formula must match the one-arm
+	// formula.
+	for _, eta := range []float64{0, 0.3, 0.7, 1} {
+		got := AnalyticBellFidelityBothArms(eta, 1)
+		want := AnalyticBellFidelity(eta)
+		if !almostEq(got, want, 1e-12) {
+			t.Errorf("both-arms(η=%g, 1) = %g, want %g", eta, got, want)
+		}
+	}
+}
+
+func TestAnalyticBothArmsMatchesNumeric(t *testing.T) {
+	for _, etas := range [][2]float64{{0.9, 0.8}, {0.7, 0.7}, {0.5, 1}, {0.95, 0.6}} {
+		rho := PhiPlus().Density()
+		ad1, err := AmplitudeDamping(etas[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad2, err := AmplitudeDamping(etas[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho = ad1.OnQubit(0, 2).Apply(rho)
+		rho = ad2.OnQubit(1, 2).Apply(rho)
+		got := BellFidelity(rho)
+		want := AnalyticBellFidelityBothArms(etas[0], etas[1])
+		if !almostEq(got, want, 1e-10) {
+			t.Errorf("both arms %v: numeric %g, analytic %g", etas, got, want)
+		}
+	}
+}
+
+func TestFidelityMonotoneInEta(t *testing.T) {
+	prev := -1.0
+	for eta := 0.0; eta <= 1.0001; eta += 0.01 {
+		f := AnalyticBellFidelity(eta)
+		if f < prev {
+			t.Fatalf("fidelity not monotone at eta=%.2f", eta)
+		}
+		prev = f
+	}
+}
+
+func randomPure(rng *rand.Rand, dim int) *Vector {
+	v := NewVector(dim)
+	for i := range v.Data {
+		v.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v.Normalize()
+}

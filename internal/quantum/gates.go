@@ -1,0 +1,123 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hadamard returns the single-qubit Hadamard gate.
+func Hadamard() *Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	m := NewMatrix(2)
+	m.Set(0, 0, s)
+	m.Set(0, 1, s)
+	m.Set(1, 0, s)
+	m.Set(1, 1, -s)
+	return m
+}
+
+// RotationX returns exp(-i θ X / 2).
+func RotationX(theta float64) *Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	m := NewMatrix(2)
+	m.Set(0, 0, c)
+	m.Set(0, 1, s)
+	m.Set(1, 0, s)
+	m.Set(1, 1, c)
+	return m
+}
+
+// CNOT returns the controlled-NOT on an n-qubit register with the given
+// control and target indices (0 = most significant qubit).
+func CNOT(control, target, nQubits int) *Matrix {
+	if control == target {
+		panic("quantum: CNOT control == target")
+	}
+	if control < 0 || control >= nQubits || target < 0 || target >= nQubits {
+		panic(fmt.Sprintf("quantum: CNOT qubits (%d,%d) out of range [0,%d)", control, target, nQubits))
+	}
+	dim := 1 << nQubits
+	m := NewMatrix(dim)
+	cBit := nQubits - 1 - control
+	tBit := nQubits - 1 - target
+	for b := 0; b < dim; b++ {
+		out := b
+		if b&(1<<cBit) != 0 {
+			out = b ^ (1 << tBit)
+		}
+		m.Set(out, b, 1)
+	}
+	return m
+}
+
+// Lift embeds a single-qubit unitary on qubit k of an n-qubit register.
+func Lift(u *Matrix, k, nQubits int) *Matrix {
+	if u.N != 2 {
+		panic("quantum: Lift requires a single-qubit operator")
+	}
+	if k < 0 || k >= nQubits {
+		panic(fmt.Sprintf("quantum: Lift qubit %d out of range [0,%d)", k, nQubits))
+	}
+	m := Identity(1)
+	for q := 0; q < nQubits; q++ {
+		if q == k {
+			m = m.Tensor(u)
+		} else {
+			m = m.Tensor(Identity(2))
+		}
+	}
+	return m
+}
+
+// ApplyUnitary returns U ρ U†.
+func ApplyUnitary(rho, u *Matrix) *Matrix {
+	return u.Mul(rho).Mul(u.Dagger())
+}
+
+// MeasureResult is one branch of a projective Z measurement.
+type MeasureResult struct {
+	Outcome     int // 0 or 1
+	Probability float64
+	// State is the normalized post-measurement state with the measured
+	// qubit still in the register (collapsed); nil if Probability ≈ 0.
+	State *Matrix
+}
+
+// MeasureZ performs a projective Z-basis measurement of qubit k on an
+// n-qubit state, returning both branches.
+func MeasureZ(rho *Matrix, k, nQubits int) []MeasureResult {
+	dim := 1 << nQubits
+	if rho.N != dim {
+		panic(fmt.Sprintf("quantum: MeasureZ dim %d != 2^%d", rho.N, nQubits))
+	}
+	bit := nQubits - 1 - k
+	results := make([]MeasureResult, 2)
+	for outcome := 0; outcome < 2; outcome++ {
+		proj := NewMatrix(dim)
+		for b := 0; b < dim; b++ {
+			if (b>>bit)&1 == outcome {
+				proj.Set(b, b, 1)
+			}
+		}
+		branch := proj.Mul(rho).Mul(proj)
+		p := real(branch.Trace())
+		res := MeasureResult{Outcome: outcome, Probability: p}
+		if p > 1e-15 {
+			res.State = branch.Scale(complex(1/p, 0))
+		}
+		results[outcome] = res
+	}
+	return results
+}
+
+// IsUnitary reports whether U U† = I within tol.
+func IsUnitary(u *Matrix, tol float64) bool {
+	return u.Mul(u.Dagger()).MaxAbsDiff(Identity(u.N)) <= tol
+}
+
+// Purity returns Tr(ρ²), which is 1 exactly for pure states and 1/N for
+// the maximally mixed state.
+func Purity(rho *Matrix) float64 {
+	return real(rho.Mul(rho).Trace())
+}

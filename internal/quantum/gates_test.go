@@ -1,0 +1,160 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHadamardUnitary(t *testing.T) {
+	h := Hadamard()
+	if !IsUnitary(h, 1e-12) {
+		t.Fatal("Hadamard not unitary")
+	}
+	// H|0> = |+>, and H² = I.
+	if h.Mul(h).MaxAbsDiff(Identity(2)) > 1e-12 {
+		t.Fatal("H² != I")
+	}
+}
+
+func TestRotationXUnitary(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, math.Pi / 2, math.Pi, -1.1} {
+		r := RotationX(theta)
+		if !IsUnitary(r, 1e-12) {
+			t.Fatalf("Rx(%g) not unitary", theta)
+		}
+	}
+	// Rx(0) = I; Rx(2π) = -I (spinor sign).
+	if RotationX(0).MaxAbsDiff(Identity(2)) > 1e-12 {
+		t.Fatal("Rx(0) != I")
+	}
+	if RotationX(2*math.Pi).MaxAbsDiff(Identity(2).Scale(-1)) > 1e-12 {
+		t.Fatal("Rx(2π) != -I")
+	}
+	// Rx(π) = -iX.
+	want := PauliX().Scale(complex(0, -1))
+	if RotationX(math.Pi).MaxAbsDiff(want) > 1e-12 {
+		t.Fatal("Rx(π) != -iX")
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	cx := CNOT(0, 1, 2)
+	if !IsUnitary(cx, 1e-12) {
+		t.Fatal("CNOT not unitary")
+	}
+	cases := [][2]int{{0, 0}, {1, 1}, {2, 3}, {3, 2}} // |00>->|00>, |01>->|01>, |10>->|11>, |11>->|10>
+	for _, c := range cases {
+		in := Basis(4, c[0])
+		var out [4]complex128
+		for r := 0; r < 4; r++ {
+			for k := 0; k < 4; k++ {
+				out[r] += cx.At(r, k) * in.Data[k]
+			}
+		}
+		for r := 0; r < 4; r++ {
+			want := complex128(0)
+			if r == c[1] {
+				want = 1
+			}
+			if out[r] != want {
+				t.Fatalf("CNOT|%d> wrong: component %d = %v", c[0], r, out[r])
+			}
+		}
+	}
+}
+
+func TestCNOTReversedControl(t *testing.T) {
+	// Control on qubit 1, target qubit 0: |01> -> |11>.
+	cx := CNOT(1, 0, 2)
+	in := Basis(4, 1).Density() // |01>
+	out := ApplyUnitary(in, cx)
+	want := Basis(4, 3).Density() // |11>
+	if out.MaxAbsDiff(want) > 1e-12 {
+		t.Fatal("reversed CNOT wrong")
+	}
+}
+
+func TestCNOTCreatesBellState(t *testing.T) {
+	// CNOT(0,1)·(H⊗I)|00> = |Φ+>.
+	h := Lift(Hadamard(), 0, 2)
+	u := CNOT(0, 1, 2).Mul(h)
+	rho := ApplyUnitary(Basis(4, 0).Density(), u)
+	if f := BellFidelity(rho); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("Bell preparation fidelity %g", f)
+	}
+}
+
+func TestCNOTPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { CNOT(0, 0, 2) },
+		func() { CNOT(-1, 0, 2) },
+		func() { CNOT(0, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLiftMatchesTensor(t *testing.T) {
+	x := PauliX()
+	if Lift(x, 0, 2).MaxAbsDiff(x.Tensor(Identity(2))) > 1e-12 {
+		t.Fatal("Lift(0) wrong")
+	}
+	if Lift(x, 1, 2).MaxAbsDiff(Identity(2).Tensor(x)) > 1e-12 {
+		t.Fatal("Lift(1) wrong")
+	}
+}
+
+func TestMeasureZBellState(t *testing.T) {
+	rho := PhiPlus().Density()
+	for q := 0; q < 2; q++ {
+		branches := MeasureZ(rho, q, 2)
+		if len(branches) != 2 {
+			t.Fatal("expected two branches")
+		}
+		total := 0.0
+		for _, b := range branches {
+			if math.Abs(b.Probability-0.5) > 1e-12 {
+				t.Fatalf("Bell measurement branch p=%g, want 0.5", b.Probability)
+			}
+			total += b.Probability
+			// Post-measurement state is perfectly correlated: measuring
+			// the other qubit gives the same outcome with certainty.
+			other := MeasureZ(b.State, 1-q, 2)
+			if math.Abs(other[b.Outcome].Probability-1) > 1e-12 {
+				t.Fatal("Bell correlation broken after measurement")
+			}
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("branch probabilities sum to %g", total)
+		}
+	}
+}
+
+func TestMeasureZDeterministic(t *testing.T) {
+	rho := Basis(4, 2).Density() // |10>
+	branches := MeasureZ(rho, 0, 2)
+	if math.Abs(branches[1].Probability-1) > 1e-12 || branches[0].State != nil {
+		t.Fatalf("deterministic measurement wrong: %+v", branches)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if p := Purity(PhiPlus().Density()); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("pure state purity %g", p)
+	}
+	if p := Purity(Identity(4).Scale(0.25)); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("maximally mixed purity %g", p)
+	}
+	// Damping reduces purity below 1 for entangled inputs.
+	rho, _ := DistributeBellPair(0.7)
+	if p := Purity(rho); p >= 1 || p <= 0.25 {
+		t.Fatalf("damped purity %g out of expected range", p)
+	}
+}

@@ -1,0 +1,240 @@
+// Package quantum implements the density-matrix machinery the paper's
+// methodology depends on: complex matrices, tensor products and partial
+// traces, Kraus-operator channels (in particular the amplitude-damping
+// channel of Eq. 3-4), Bell states, Hermitian eigendecomposition, Uhlmann
+// fidelity (Eq. 5), and entanglement swapping for multi-hop distribution.
+//
+// Everything is dense and exact (within floating point); the matrices
+// involved are tiny (2^n x 2^n for n <= 4 qubits), so clarity wins over
+// sparsity.
+package quantum
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense square complex matrix stored row-major.
+type Matrix struct {
+	N    int
+	Data []complex128
+}
+
+// NewMatrix returns an N x N zero matrix.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("quantum: invalid matrix dimension %d", n))
+	}
+	return &Matrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length
+// len(rows).
+func FromRows(rows [][]complex128) *Matrix {
+	n := len(rows)
+	m := NewMatrix(n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic(fmt.Sprintf("quantum: row %d has %d entries, want %d", i, len(r), n))
+		}
+		copy(m.Data[i*n:(i+1)*n], r)
+	}
+	return m
+}
+
+// Identity returns the N x N identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Add returns m + w.
+func (m *Matrix) Add(w *Matrix) *Matrix {
+	m.mustMatch(w)
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + w.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - w.
+func (m *Matrix) Sub(w *Matrix) *Matrix {
+	m.mustMatch(w)
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - w.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m * w.
+func (m *Matrix) Mul(w *Matrix) *Matrix {
+	m.mustMatch(w)
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			row := w.Data[k*n:]
+			dst := out.Data[i*n:]
+			for j := 0; j < n; j++ {
+				dst[j] += a * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m *Matrix) Dagger() *Matrix {
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*n+i] = cmplx.Conj(m.Data[i*n+j])
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements.
+func (m *Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.N; i++ {
+		t += m.Data[i*m.N+i]
+	}
+	return t
+}
+
+// Tensor returns the Kronecker product m ⊗ w.
+func (m *Matrix) Tensor(w *Matrix) *Matrix {
+	a, b := m.N, w.N
+	out := NewMatrix(a * b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < a; j++ {
+			v := m.Data[i*a+j]
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < b; k++ {
+				for l := 0; l < b; l++ {
+					out.Data[(i*b+k)*(a*b)+(j*b+l)] = v * w.Data[k*b+l]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsHermitian reports whether m equals its conjugate transpose within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	n := m.N
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			d := m.Data[i*n+j] - cmplx.Conj(m.Data[j*n+i])
+			if cmplx.Abs(d) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference between m
+// and w. Useful in tests.
+func (m *Matrix) MaxAbsDiff(w *Matrix) float64 {
+	m.mustMatch(w)
+	var max float64
+	for i := range m.Data {
+		if d := cmplx.Abs(m.Data[i] - w.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "%7.4f%+7.4fi ", real(v), imag(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Matrix) mustMatch(w *Matrix) {
+	if m.N != w.N {
+		panic(fmt.Sprintf("quantum: dimension mismatch %d vs %d", m.N, w.N))
+	}
+}
+
+// PartialTrace traces out the qubit at index k (0 = most significant) of an
+// n-qubit density matrix, returning the (n-1)-qubit reduced state.
+func PartialTrace(rho *Matrix, k, nQubits int) *Matrix {
+	dim := 1 << nQubits
+	if rho.N != dim {
+		panic(fmt.Sprintf("quantum: partial trace: matrix dim %d != 2^%d", rho.N, nQubits))
+	}
+	if k < 0 || k >= nQubits {
+		panic(fmt.Sprintf("quantum: partial trace: qubit %d out of range [0,%d)", k, nQubits))
+	}
+	outDim := dim / 2
+	out := NewMatrix(outDim)
+	// Bit position of qubit k counted from the most significant bit.
+	shift := nQubits - 1 - k
+	for i := 0; i < outDim; i++ {
+		for j := 0; j < outDim; j++ {
+			var sum complex128
+			for b := 0; b < 2; b++ {
+				fi := insertBit(i, shift, b)
+				fj := insertBit(j, shift, b)
+				sum += rho.Data[fi*dim+fj]
+			}
+			out.Data[i*outDim+j] = sum
+		}
+	}
+	return out
+}
+
+// insertBit inserts bit b at position pos (counted from the least
+// significant bit) into x, shifting higher bits left.
+func insertBit(x, pos, b int) int {
+	lowMask := (1 << pos) - 1
+	low := x & lowMask
+	high := x >> pos
+	return (high << (pos + 1)) | (b << pos) | low
+}

@@ -1,0 +1,193 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIdentityMul(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		id := Identity(n)
+		m := randomMatrix(rand.New(rand.NewSource(int64(n))), n)
+		if got := id.Mul(m); got.MaxAbsDiff(m) > 1e-12 {
+			t.Errorf("I*M != M for n=%d (diff %g)", n, got.MaxAbsDiff(m))
+		}
+		if got := m.Mul(id); got.MaxAbsDiff(m) > 1e-12 {
+			t.Errorf("M*I != M for n=%d", n)
+		}
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(rng, 4)
+		b := randomMatrix(rng, 4)
+		c := randomMatrix(rng, 4)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if left.MaxAbsDiff(right) > 1e-10 {
+			t.Fatalf("(AB)C != A(BC), diff %g", left.MaxAbsDiff(right))
+		}
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomMatrix(rng, 5)
+	if m.Dagger().Dagger().MaxAbsDiff(m) > 1e-14 {
+		t.Fatal("dagger is not an involution")
+	}
+}
+
+func TestDaggerReversesProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 4)
+	b := randomMatrix(rng, 4)
+	lhs := a.Mul(b).Dagger()
+	rhs := b.Dagger().Mul(a.Dagger())
+	if lhs.MaxAbsDiff(rhs) > 1e-10 {
+		t.Fatalf("(AB)† != B†A†, diff %g", lhs.MaxAbsDiff(rhs))
+	}
+}
+
+func TestTraceLinearCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randomMatrix(rng, 4)
+	b := randomMatrix(rng, 4)
+	tab := a.Mul(b).Trace()
+	tba := b.Mul(a).Trace()
+	if cmplx.Abs(tab-tba) > 1e-10 {
+		t.Fatalf("Tr(AB) != Tr(BA): %v vs %v", tab, tba)
+	}
+}
+
+func TestTensorDimensionsAndTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomMatrix(rng, 2)
+	b := randomMatrix(rng, 3)
+	ab := a.Tensor(b)
+	if ab.N != 6 {
+		t.Fatalf("tensor dim = %d, want 6", ab.N)
+	}
+	// Tr(A⊗B) = Tr(A)Tr(B)
+	want := a.Trace() * b.Trace()
+	if cmplx.Abs(ab.Trace()-want) > 1e-10 {
+		t.Fatalf("Tr(A⊗B) = %v, want %v", ab.Trace(), want)
+	}
+}
+
+func TestTensorMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(23))
+	a, b, c, d := randomMatrix(rng, 2), randomMatrix(rng, 2), randomMatrix(rng, 2), randomMatrix(rng, 2)
+	lhs := a.Tensor(b).Mul(c.Tensor(d))
+	rhs := a.Mul(c).Tensor(b.Mul(d))
+	if lhs.MaxAbsDiff(rhs) > 1e-10 {
+		t.Fatalf("mixed-product property fails, diff %g", lhs.MaxAbsDiff(rhs))
+	}
+}
+
+func TestInsertBit(t *testing.T) {
+	cases := []struct {
+		x, pos, b, want int
+	}{
+		{0, 0, 0, 0},
+		{0, 0, 1, 1},
+		{1, 0, 0, 2}, // 1 -> 10
+		{1, 0, 1, 3}, // 1 -> 11
+		{0b101, 1, 1, 0b1011},
+		{0b101, 2, 0, 0b1001},
+		{0b11, 2, 1, 0b111},
+	}
+	for _, c := range cases {
+		if got := insertBit(c.x, c.pos, c.b); got != c.want {
+			t.Errorf("insertBit(%b,%d,%d) = %b, want %b", c.x, c.pos, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPartialTraceProductState(t *testing.T) {
+	// For rho = rhoA ⊗ rhoB, tracing out either qubit must recover the
+	// other factor.
+	rng := rand.New(rand.NewSource(29))
+	rhoA := randomDensity(rng, 1)
+	rhoB := randomDensity(rng, 1)
+	joint := rhoA.Tensor(rhoB)
+	gotB := PartialTrace(joint, 0, 2) // trace out qubit 0 (A)
+	if gotB.MaxAbsDiff(rhoB) > 1e-10 {
+		t.Fatalf("Tr_A(A⊗B) != B, diff %g", gotB.MaxAbsDiff(rhoB))
+	}
+	gotA := PartialTrace(joint, 1, 2) // trace out qubit 1 (B)
+	if gotA.MaxAbsDiff(rhoA) > 1e-10 {
+		t.Fatalf("Tr_B(A⊗B) != A, diff %g", gotA.MaxAbsDiff(rhoA))
+	}
+}
+
+func TestPartialTraceBellGivesMaximallyMixed(t *testing.T) {
+	rho := PhiPlus().Density()
+	for q := 0; q < 2; q++ {
+		red := PartialTrace(rho, q, 2)
+		want := Identity(2).Scale(0.5)
+		if red.MaxAbsDiff(want) > 1e-12 {
+			t.Errorf("reduced Bell state (trace qubit %d) is not I/2", q)
+		}
+	}
+}
+
+func TestPartialTracePreservesTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := randomDensity(rng, 3)
+		for q := 0; q < 3; q++ {
+			red := PartialTrace(rho, q, 3)
+			if !almostEq(real(red.Trace()), 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}
+
+// randomMatrix returns an n x n matrix with entries uniform in the unit
+// square of the complex plane.
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return m
+}
+
+// randomHermitian returns a random Hermitian n x n matrix.
+func randomHermitian(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n)
+	return m.Add(m.Dagger()).Scale(0.5)
+}
+
+// randomDensity returns a random density matrix on nQubits qubits (PSD,
+// unit trace) built as G G† / Tr(G G†).
+func randomDensity(rng *rand.Rand, nQubits int) *Matrix {
+	n := 1 << nQubits
+	g := randomMatrix(rng, n)
+	rho := g.Mul(g.Dagger())
+	tr := real(rho.Trace())
+	return rho.Scale(complex(1/tr, 0))
+}

@@ -1,0 +1,118 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Conj returns the element-wise complex conjugate of m.
+func (m *Matrix) Conj() *Matrix {
+	out := NewMatrix(m.N)
+	for i, v := range m.Data {
+		out.Data[i] = cmplx.Conj(v)
+	}
+	return out
+}
+
+// Concurrence returns the Wootters concurrence of a two-qubit state:
+// C = max(0, λ1 − λ2 − λ3 − λ4) with λi the decreasing square roots of the
+// eigenvalues of ρ (σy⊗σy) ρ* (σy⊗σy). C = 0 for separable states and 1
+// for maximally entangled ones.
+func Concurrence(rho *Matrix) (float64, error) {
+	if rho.N != 4 {
+		return 0, fmt.Errorf("quantum: concurrence needs a 2-qubit state, got dim %d", rho.N)
+	}
+	yy := PauliY().Tensor(PauliY())
+	rhoTilde := yy.Mul(rho.Conj()).Mul(yy)
+	// ρρ~ has real non-negative eigenvalues but is not Hermitian; use the
+	// similarity trick: the eigenvalues of ρρ~ equal those of √ρ ρ~ √ρ,
+	// which is PSD Hermitian and safe for the Jacobi solver.
+	sqrtRho, err := SqrtPSD(rho)
+	if err != nil {
+		return 0, err
+	}
+	herm := sqrtRho.Mul(rhoTilde).Mul(sqrtRho)
+	eig, err := EigenHermitian(herm)
+	if err != nil {
+		return 0, err
+	}
+	lambdas := make([]float64, 0, 4)
+	for _, v := range eig.Values {
+		if v < 0 {
+			v = 0
+		}
+		lambdas = append(lambdas, math.Sqrt(v))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(lambdas)))
+	c := lambdas[0] - lambdas[1] - lambdas[2] - lambdas[3]
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c, nil
+}
+
+// EntanglementOfFormation returns E_F in ebits from the concurrence via
+// Wootters' formula: E_F = h((1 + sqrt(1−C²))/2) with h the binary
+// entropy.
+func EntanglementOfFormation(rho *Matrix) (float64, error) {
+	c, err := Concurrence(rho)
+	if err != nil {
+		return 0, err
+	}
+	x := (1 + math.Sqrt(1-c*c)) / 2
+	return binaryEntropy(x), nil
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// PartialTranspose transposes the subsystem of qubit k (0 = most
+// significant) of an n-qubit density matrix.
+func PartialTranspose(rho *Matrix, k, nQubits int) *Matrix {
+	dim := 1 << nQubits
+	if rho.N != dim {
+		panic(fmt.Sprintf("quantum: partial transpose dim %d != 2^%d", rho.N, nQubits))
+	}
+	bit := nQubits - 1 - k
+	out := NewMatrix(dim)
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			// Swap the k-th bit between row and column indices.
+			rb, cb := (r>>bit)&1, (c>>bit)&1
+			nr := (r &^ (1 << bit)) | (cb << bit)
+			nc := (c &^ (1 << bit)) | (rb << bit)
+			out.Data[nr*dim+nc] = rho.Data[r*dim+c]
+		}
+	}
+	return out
+}
+
+// Negativity returns the entanglement negativity of a two-qubit state:
+// the absolute sum of the negative eigenvalues of the partial transpose.
+// Zero exactly for separable (PPT) states; ½ for Bell states.
+func Negativity(rho *Matrix) (float64, error) {
+	if rho.N != 4 {
+		return 0, fmt.Errorf("quantum: negativity needs a 2-qubit state, got dim %d", rho.N)
+	}
+	pt := PartialTranspose(rho, 1, 2)
+	eig, err := EigenHermitian(pt)
+	if err != nil {
+		return 0, err
+	}
+	var neg float64
+	for _, v := range eig.Values {
+		if v < 0 {
+			neg -= v
+		}
+	}
+	return neg, nil
+}

@@ -1,0 +1,193 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConcurrenceBellStates(t *testing.T) {
+	for i, bell := range BellStates() {
+		c, err := Concurrence(bell.Density())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(c, 1, 1e-8) {
+			t.Fatalf("Bell state %d concurrence %g, want 1", i, c)
+		}
+	}
+}
+
+func TestConcurrenceSeparable(t *testing.T) {
+	// Product states and the maximally mixed state are separable.
+	for _, rho := range []*Matrix{
+		Basis(4, 0).Density(),
+		Basis(2, 0).Density().Tensor(Basis(2, 1).Density()),
+		Identity(4).Scale(0.25),
+	} {
+		c, err := Concurrence(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > 1e-8 {
+			t.Fatalf("separable state has concurrence %g", c)
+		}
+	}
+}
+
+func TestConcurrenceWernerClosedForm(t *testing.T) {
+	// Werner state: C = max(0, (3p−1)/2).
+	for _, p := range []float64{0, 0.2, 1.0 / 3.0, 0.5, 0.8, 1} {
+		c, err := Concurrence(WernerState(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Max(0, (3*p-1)/2)
+		if !almostEq(c, want, 1e-7) {
+			t.Fatalf("Werner(%g) concurrence %g, want %g", p, c, want)
+		}
+	}
+}
+
+func TestConcurrenceDampedPair(t *testing.T) {
+	// One-arm amplitude damping: C = sqrt(eta) in closed form.
+	for _, eta := range []float64{0.25, 0.5, 0.7, 0.9, 1} {
+		rho, err := DistributeBellPair(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Concurrence(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(c, math.Sqrt(eta), 1e-7) {
+			t.Fatalf("eta=%g: concurrence %g, want %g", eta, c, math.Sqrt(eta))
+		}
+	}
+}
+
+func TestEntanglementOfFormationLimits(t *testing.T) {
+	ef, err := EntanglementOfFormation(PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ef, 1, 1e-7) {
+		t.Fatalf("Bell E_F %g, want 1 ebit", ef)
+	}
+	ef, err = EntanglementOfFormation(Identity(4).Scale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef > 1e-8 {
+		t.Fatalf("mixed-state E_F %g, want 0", ef)
+	}
+	// Monotone in concurrence: damped pairs order correctly.
+	lo, _ := DistributeBellPair(0.4)
+	hi, _ := DistributeBellPair(0.9)
+	efLo, err := EntanglementOfFormation(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efHi, err := EntanglementOfFormation(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if efHi <= efLo {
+		t.Fatal("E_F not monotone in transmissivity")
+	}
+}
+
+func TestNegativityBellAndSeparable(t *testing.T) {
+	n, err := Negativity(PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(n, 0.5, 1e-8) {
+		t.Fatalf("Bell negativity %g, want 0.5", n)
+	}
+	n, err = Negativity(Basis(4, 0).Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 1e-9 {
+		t.Fatalf("separable negativity %g", n)
+	}
+}
+
+func TestNegativityWernerClosedForm(t *testing.T) {
+	// Werner: N = max(0, (3p−1)/4).
+	for _, p := range []float64{0, 1.0 / 3.0, 0.6, 1} {
+		n, err := Negativity(WernerState(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Max(0, (3*p-1)/4)
+		if !almostEq(n, want, 1e-8) {
+			t.Fatalf("Werner(%g) negativity %g, want %g", p, n, want)
+		}
+	}
+}
+
+func TestPartialTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := randomDensity(rng, 2)
+		for q := 0; q < 2; q++ {
+			back := PartialTranspose(PartialTranspose(rho, q, 2), q, 2)
+			if back.MaxAbsDiff(rho) > 1e-12 {
+				return false
+			}
+		}
+		// Transposing both subsystems equals the full transpose.
+		both := PartialTranspose(PartialTranspose(rho, 0, 2), 1, 2)
+		full := NewMatrix(4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				full.Set(i, j, rho.At(j, i))
+			}
+		}
+		return both.MaxAbsDiff(full) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuresAgreeOnEntanglementDetection(t *testing.T) {
+	// For two-qubit states, C > 0 iff N > 0 (PPT is necessary and
+	// sufficient at this dimension).
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		rho := randomDensity(rng, 2)
+		c, err := Concurrence(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Negativity(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (c > 1e-6) != (n > 1e-6) {
+			t.Fatalf("measures disagree: C=%g N=%g", c, n)
+		}
+	}
+}
+
+func TestMeasuresRejectWrongDims(t *testing.T) {
+	if _, err := Concurrence(Identity(2)); err == nil {
+		t.Fatal("concurrence accepted wrong dim")
+	}
+	if _, err := Negativity(Identity(8)); err == nil {
+		t.Fatal("negativity accepted wrong dim")
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, complex(1, 2))
+	c := m.Conj()
+	if c.At(0, 1) != complex(1, -2) {
+		t.Fatal("conjugate wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package quantum
+
+import "fmt"
+
+// Pauli matrices and their use in Bell-measurement corrections.
+
+// PauliX returns the bit-flip operator.
+func PauliX() *Matrix {
+	m := NewMatrix(2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	return m
+}
+
+// PauliY returns the Y operator.
+func PauliY() *Matrix {
+	m := NewMatrix(2)
+	m.Set(0, 1, complex(0, -1))
+	m.Set(1, 0, complex(0, 1))
+	return m
+}
+
+// PauliZ returns the phase-flip operator.
+func PauliZ() *Matrix {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -1)
+	return m
+}
+
+// SwapOutcome describes one Bell-measurement branch of an entanglement
+// swap.
+type SwapOutcome struct {
+	// Bell index: 0 Φ+, 1 Φ-, 2 Ψ+, 3 Ψ-.
+	Outcome int
+	// Probability of the branch.
+	Probability float64
+	// Post-measurement, Pauli-corrected state of the two end qubits,
+	// normalized. Nil when Probability is (numerically) zero.
+	State *Matrix
+}
+
+// Swap performs deterministic entanglement swapping: given a pair shared
+// between nodes A and B (rhoAB, qubit order A then B) and a pair shared
+// between C and D (rhoCD, qubit order C then D), it Bell-measures qubits B
+// and C, applies the standard Pauli correction on D for each outcome, and
+// returns the average end-to-end state of A and D along with the individual
+// branches.
+//
+// For ideal input pairs every branch yields exactly |Φ+>; for
+// amplitude-damped inputs the branches differ slightly and the average is
+// what a repeater that always announces its outcome delivers.
+func Swap(rhoAB, rhoCD *Matrix) (*Matrix, []SwapOutcome, error) {
+	if rhoAB.N != 4 || rhoCD.N != 4 {
+		return nil, nil, fmt.Errorf("quantum: Swap requires two 2-qubit states, got dims %d and %d", rhoAB.N, rhoCD.N)
+	}
+	full := rhoAB.Tensor(rhoCD) // qubit order: A(0) B(1) C(2) D(3)
+
+	bells := BellStates()
+	// Pauli correction applied to D so that outcome k maps an ideal swap
+	// back to Φ+: Φ+ -> I, Φ- -> Z, Ψ+ -> X, Ψ- -> Z·X.
+	corrections := []*Matrix{
+		Identity(2),
+		PauliZ(),
+		PauliX(),
+		PauliZ().Mul(PauliX()),
+	}
+
+	id2 := Identity(2)
+	avg := NewMatrix(4)
+	outcomes := make([]SwapOutcome, 0, 4)
+	var totalProb float64
+	for k, bell := range bells {
+		// Projector onto |β_k> for the adjacent qubits B, C.
+		proj := id2.Tensor(bell.Density()).Tensor(id2)
+		branch := proj.Mul(full).Mul(proj)
+		p := real(branch.Trace())
+		out := SwapOutcome{Outcome: k, Probability: p}
+		if p > 1e-15 {
+			// Trace out qubit B (index 1), then the former qubit C (now
+			// index 1 of the 3-qubit remainder).
+			reduced := PartialTrace(branch, 1, 4)
+			reduced = PartialTrace(reduced, 1, 3)
+			// Normalize and correct.
+			reduced = reduced.Scale(complex(1/p, 0))
+			corr := id2.Tensor(corrections[k])
+			reduced = corr.Mul(reduced).Mul(corr.Dagger())
+			out.State = reduced
+			avg = avg.Add(reduced.Scale(complex(p, 0)))
+		}
+		totalProb += p
+		outcomes = append(outcomes, out)
+	}
+	if totalProb < 1e-12 {
+		return nil, outcomes, fmt.Errorf("quantum: Swap: all measurement branches have zero probability")
+	}
+	avg = avg.Scale(complex(1/totalProb, 0))
+	return avg, outcomes, nil
+}
+
+// SwapChain distributes end-to-end entanglement across a chain of
+// amplitude-damped elementary pairs with the given per-hop transmissivities
+// by repeated swapping, returning the final two-qubit state between the
+// chain's endpoints.
+func SwapChain(etas []float64) (*Matrix, error) {
+	if len(etas) == 0 {
+		return nil, fmt.Errorf("quantum: SwapChain requires at least one hop")
+	}
+	state, err := DistributeBellPair(etas[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, eta := range etas[1:] {
+		next, err := DistributeBellPair(eta)
+		if err != nil {
+			return nil, err
+		}
+		state, _, err = Swap(state, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}

@@ -1,0 +1,152 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSwapIdealPairs(t *testing.T) {
+	// Swapping two perfect Bell pairs yields a perfect Bell pair in every
+	// branch, with uniform outcome probabilities 1/4.
+	ideal := PhiPlus().Density()
+	avg, outcomes, err := Swap(ideal, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BellFidelity(avg); !almostEq(got, 1, 1e-9) {
+		t.Fatalf("average swapped fidelity %g, want 1", got)
+	}
+	var total float64
+	for _, o := range outcomes {
+		total += o.Probability
+		if !almostEq(o.Probability, 0.25, 1e-9) {
+			t.Errorf("outcome %d probability %g, want 0.25", o.Outcome, o.Probability)
+		}
+		if o.State == nil {
+			t.Fatalf("outcome %d has nil state", o.Outcome)
+		}
+		if f := BellFidelity(o.State); !almostEq(f, 1, 1e-9) {
+			t.Errorf("outcome %d fidelity %g, want 1 (Pauli correction wrong?)", o.Outcome, f)
+		}
+	}
+	if !almostEq(total, 1, 1e-9) {
+		t.Fatalf("outcome probabilities sum to %g", total)
+	}
+}
+
+func TestSwapProbabilitiesSumToOne(t *testing.T) {
+	a, err := DistributeBellPair(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistributeBellPair(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, outcomes, err := Swap(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, o := range outcomes {
+		total += o.Probability
+	}
+	if !almostEq(total, 1, 1e-9) {
+		t.Fatalf("probabilities sum to %g", total)
+	}
+	if tr := real(avg.Trace()); !almostEq(tr, 1, 1e-9) {
+		t.Fatalf("average state trace %g", tr)
+	}
+	if !avg.IsHermitian(1e-9) {
+		t.Fatal("average state not Hermitian")
+	}
+}
+
+func TestSwapChainSingleHop(t *testing.T) {
+	// A one-hop chain is just a distributed pair.
+	for _, eta := range []float64{0.5, 0.9, 1} {
+		state, err := SwapChain([]float64{eta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := BellFidelity(state), AnalyticBellFidelity(eta); !almostEq(got, want, 1e-10) {
+			t.Fatalf("eta=%g: fidelity %g, want %g", eta, got, want)
+		}
+	}
+}
+
+func TestSwapChainDegradesWithHops(t *testing.T) {
+	// Adding lossy hops can only reduce end-to-end fidelity.
+	prev := 2.0
+	for hops := 1; hops <= 3; hops++ {
+		etas := make([]float64, hops)
+		for i := range etas {
+			etas[i] = 0.9
+		}
+		state, err := SwapChain(etas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := BellFidelity(state)
+		if f >= prev {
+			t.Fatalf("fidelity did not decrease at %d hops: %g >= %g", hops, f, prev)
+		}
+		if f < 0.5 {
+			t.Fatalf("fidelity %g at %d hops implausibly low for eta=0.9 links", f, hops)
+		}
+		prev = f
+	}
+}
+
+func TestSwapChainPerfectLinks(t *testing.T) {
+	state, err := SwapChain([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := BellFidelity(state); !almostEq(f, 1, 1e-9) {
+		t.Fatalf("perfect chain fidelity %g, want 1", f)
+	}
+}
+
+func TestSwapChainEmpty(t *testing.T) {
+	if _, err := SwapChain(nil); err == nil {
+		t.Fatal("expected error for empty chain")
+	}
+}
+
+func TestSwapChainCloseToProductTransmissivity(t *testing.T) {
+	// The experiment harness approximates a swapped chain by a single
+	// damped pair with the product transmissivity. Verify the
+	// approximation is tight for the high transmissivities the paper's
+	// threshold admits (every link eta >= 0.7).
+	cases := [][]float64{{0.9, 0.9}, {0.8, 0.95}, {0.7, 0.7}, {0.95, 0.9, 0.85}}
+	for _, etas := range cases {
+		state, err := SwapChain(etas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := BellFidelity(state)
+		prod := 1.0
+		for _, e := range etas {
+			prod *= e
+		}
+		approx := AnalyticBellFidelity(prod)
+		if math.Abs(exact-approx) > 0.02 {
+			t.Errorf("chain %v: swap fidelity %g vs product approx %g differ by more than 0.02", etas, exact, approx)
+		}
+	}
+}
+
+func TestPauliMatricesInvolutory(t *testing.T) {
+	for name, p := range map[string]*Matrix{"X": PauliX(), "Y": PauliY(), "Z": PauliZ()} {
+		if p.Mul(p).MaxAbsDiff(Identity(2)) > 1e-12 {
+			t.Errorf("Pauli %s squared is not identity", name)
+		}
+	}
+}
+
+func TestSwapRejectsWrongDims(t *testing.T) {
+	if _, _, err := Swap(Identity(2), Identity(4)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

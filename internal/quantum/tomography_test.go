@@ -1,0 +1,107 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTomographyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rho := randomDensity(rng, 2)
+		tab, err := PauliExpectations(rho)
+		if err != nil {
+			return false
+		}
+		back := ReconstructTwoQubit(tab)
+		return back.MaxAbsDiff(rho) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTomographyBellExpectations(t *testing.T) {
+	tab, err := PauliExpectations(PhiPlus().Density())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Φ+ has t_II = 1, t_XX = 1, t_YY = -1, t_ZZ = 1, all else 0.
+	want := [4][4]float64{}
+	want[0][0], want[1][1], want[2][2], want[3][3] = 1, 1, -1, 1
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(tab[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("t[%d][%d] = %g, want %g", i, j, tab[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTomographyTraceEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rho := randomDensity(rng, 2)
+	tab, err := PauliExpectations(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tab[0][0]-1) > 1e-10 {
+		t.Fatalf("t_II = %g, want 1", tab[0][0])
+	}
+	// Every expectation is bounded by 1.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(tab[i][j]) > 1+1e-10 {
+				t.Fatalf("t[%d][%d] = %g out of range", i, j, tab[i][j])
+			}
+		}
+	}
+}
+
+func TestFidelityFromTomographyMatchesDirect(t *testing.T) {
+	for _, eta := range []float64{0.3, 0.7, 0.95, 1} {
+		rho, err := DistributeBellPair(eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := PauliExpectations(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FidelityFromTomography(tab)
+		want := BellFidelity(rho)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("eta=%g: tomographic fidelity %g, direct %g", eta, got, want)
+		}
+	}
+}
+
+func TestTomographyRejectsWrongDim(t *testing.T) {
+	if _, err := PauliExpectations(Identity(2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestTomographyCorrelationSubmatrixMatchesCHSH(t *testing.T) {
+	// The 3×3 lower block of the expectation table is the correlation
+	// matrix used by the CHSH criterion.
+	rng := rand.New(rand.NewSource(5))
+	rho := randomDensity(rng, 2)
+	tab, err := PauliExpectations(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := CorrelationMatrix(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(tab[i+1][j+1]-corr[i][j]) > 1e-12 {
+				t.Fatalf("correlation mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultEpsilon is the small positive ε of the paper's 1/(η+ε) cost
+// metric, preventing division by zero on η = 0 edges.
+const DefaultEpsilon = 1e-6
+
+// CostFromEta converts a transmissivity into the paper's additive routing
+// cost 1/(η+ε). Larger transmissivity means smaller cost.
+func CostFromEta(eta, epsilon float64) float64 {
+	return 1 / (eta + epsilon)
+}
+
+// Entry is one routing-table row: the accumulated cost to a destination and
+// the Via node — the last relay before the destination, exactly as stored
+// by Algorithm 1 (a predecessor pointer).
+type Entry struct {
+	Cost float64
+	Via  string // "" for self or unreachable
+}
+
+// Table maps destination ID to routing entry for a single node.
+type Table map[string]Entry
+
+// Tables holds the converged routing table of every node.
+type Tables struct {
+	Epsilon float64
+	ByNode  map[string]Table
+}
+
+// BellmanFord runs the paper's Algorithm 1 on the graph: every node
+// initializes a table with cost 0 to itself, 1/(η+ε) to adjacent nodes and
+// +Inf elsewhere, then N−1 synchronous rounds of relaxation over all graph
+// edges update each table. The returned tables contain, for every (node,
+// destination) pair, the minimal total cost and the predecessor needed to
+// reconstruct the path.
+func BellmanFord(g *Graph, epsilon float64) *Tables {
+	if epsilon <= 0 {
+		epsilon = DefaultEpsilon
+	}
+	n := g.NumNodes()
+	tables := &Tables{Epsilon: epsilon, ByNode: make(map[string]Table, n)}
+	if n == 0 {
+		return tables
+	}
+
+	// Dense working state: cost[i*n+j] is node i's cost to reach j, via
+	// holds the Algorithm 1 waypoint (-1 none, j itself for direct edges).
+	cost := make([]float64, n*n)
+	via := make([]int32, n*n)
+	inf := math.Inf(1)
+
+	// Precompute sorted neighbor lists once for deterministic iteration.
+	nbrs := make([][]int, n)
+	for u := 0; u < n; u++ {
+		nbrs[u] = g.neighborIndices(u)
+	}
+
+	// INITIALIZE (Algorithm 1).
+	for i := 0; i < n; i++ {
+		row := cost[i*n : (i+1)*n]
+		vrow := via[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				row[j] = 0
+				vrow[j] = -1
+			default:
+				if eta, ok := g.adj[i][j]; ok {
+					row[j] = CostFromEta(eta, epsilon)
+					vrow[j] = int32(j)
+				} else {
+					row[j] = inf
+					vrow[j] = -1
+				}
+			}
+		}
+	}
+
+	// N−1 rounds of UPDATE (Algorithm 1): for every node and every edge
+	// (u, v), try reaching u through v using v's table.
+	for round := 0; round < n-1; round++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			row := cost[i*n : (i+1)*n]
+			vrow := via[i*n : (i+1)*n]
+			for u := 0; u < n; u++ {
+				if u == i {
+					continue
+				}
+				for _, v := range nbrs[u] {
+					if v == i {
+						// Reaching u directly as our neighbor was already
+						// seeded in INITIALIZE.
+						continue
+					}
+					cand := row[v] + cost[v*n+u]
+					if cand < row[u] {
+						row[u] = cand
+						vrow[u] = int32(v)
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Export to the string-keyed table API.
+	for i, id := range g.ids {
+		t := make(Table, n)
+		for j, dest := range g.ids {
+			e := Entry{Cost: cost[i*n+j]}
+			if v := via[i*n+j]; v >= 0 {
+				e.Via = g.ids[v]
+			}
+			t[dest] = e
+		}
+		tables.ByNode[id] = t
+	}
+	return tables
+}
+
+// Cost returns the converged cost from src to dst.
+func (t *Tables) Cost(src, dst string) (float64, error) {
+	st, ok := t.ByNode[src]
+	if !ok {
+		return 0, fmt.Errorf("routing: unknown source %q", src)
+	}
+	e, ok := st[dst]
+	if !ok {
+		return 0, fmt.Errorf("routing: unknown destination %q", dst)
+	}
+	return e.Cost, nil
+}
+
+// Path reconstructs the minimum-cost path from src to dst. Algorithm 1
+// stores, for each destination, a Via waypoint: either the destination
+// itself (direct edge, as seeded by INITIALIZE) or an intermediate node v
+// such that cost(src→dst) = cost(src→v) + cost(v→dst) with both legs
+// resolved by the converged tables. Reconstruction therefore expands
+// waypoints recursively. Returns an error if dst is unreachable.
+func (t *Tables) Path(src, dst string) ([]string, error) {
+	if _, ok := t.ByNode[src]; !ok {
+		return nil, fmt.Errorf("routing: unknown source %q", src)
+	}
+	if _, ok := t.ByNode[dst]; !ok {
+		return nil, fmt.Errorf("routing: unknown destination %q", dst)
+	}
+	budget := 4 * len(t.ByNode) // recursion guard
+	path, err := t.expand(src, dst, &budget)
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+func (t *Tables) expand(src, dst string, budget *int) ([]string, error) {
+	if *budget <= 0 {
+		return nil, fmt.Errorf("routing: path expansion exceeded budget (cycle in tables?)")
+	}
+	*budget--
+	if src == dst {
+		return []string{src}, nil
+	}
+	e := t.ByNode[src][dst]
+	if math.IsInf(e.Cost, 1) {
+		return nil, fmt.Errorf("routing: %s unreachable from %s", dst, src)
+	}
+	if e.Via == "" {
+		return nil, fmt.Errorf("routing: missing waypoint for %s -> %s", src, dst)
+	}
+	if e.Via == dst {
+		return []string{src, dst}, nil
+	}
+	first, err := t.expand(src, e.Via, budget)
+	if err != nil {
+		return nil, err
+	}
+	second, err := t.expand(e.Via, dst, budget)
+	if err != nil {
+		return nil, err
+	}
+	return append(first, second[1:]...), nil
+}
+
+// Reachable reports whether dst has finite cost from src.
+func (t *Tables) Reachable(src, dst string) bool {
+	c, err := t.Cost(src, dst)
+	return err == nil && !math.IsInf(c, 1)
+}

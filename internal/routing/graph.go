@@ -1,0 +1,159 @@
+// Package routing implements the paper's entanglement routing layer: the
+// distance-vector Bellman-Ford of Algorithm 1 with the 1/(η+ε) cost metric,
+// plus two baselines used by the ablation benchmarks — classic single-source
+// Bellman-Ford and Dijkstra on −log η weights (which finds the true
+// maximum-transmissivity path, since transmissivities multiply along a
+// path).
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected graph whose edges carry a transmissivity
+// η ∈ [0, 1]. Nodes are identified by string IDs.
+type Graph struct {
+	ids   []string
+	index map[string]int
+	adj   []map[int]float64 // adj[i][j] = transmissivity of edge i-j
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// AddNode inserts a node if not already present and returns its dense
+// index.
+func (g *Graph) AddNode(id string) int {
+	if i, ok := g.index[id]; ok {
+		return i
+	}
+	i := len(g.ids)
+	g.ids = append(g.ids, id)
+	g.index[id] = i
+	g.adj = append(g.adj, make(map[int]float64))
+	return i
+}
+
+// AddEdge inserts (or updates) the undirected edge a-b with the given
+// transmissivity. Nodes are created as needed.
+func (g *Graph) AddEdge(a, b string, eta float64) error {
+	if a == b {
+		return fmt.Errorf("routing: self-loop on %q", a)
+	}
+	if eta < 0 || eta > 1 || math.IsNaN(eta) {
+		return fmt.Errorf("routing: transmissivity %g outside [0,1] for edge %s-%s", eta, a, b)
+	}
+	i, j := g.AddNode(a), g.AddNode(b)
+	g.adj[i][j] = eta
+	g.adj[j][i] = eta
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge a-b if present.
+func (g *Graph) RemoveEdge(a, b string) {
+	i, oki := g.index[a]
+	j, okj := g.index[b]
+	if !oki || !okj {
+		return
+	}
+	delete(g.adj[i], j)
+	delete(g.adj[j], i)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.ids) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int {
+	var n int
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// Nodes returns the node IDs in insertion order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.ids))
+	copy(out, g.ids)
+	return out
+}
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
+// Eta returns the transmissivity of edge a-b and whether the edge exists.
+func (g *Graph) Eta(a, b string) (float64, bool) {
+	i, oki := g.index[a]
+	j, okj := g.index[b]
+	if !oki || !okj {
+		return 0, false
+	}
+	eta, ok := g.adj[i][j]
+	return eta, ok
+}
+
+// Neighbors returns the IDs adjacent to id, sorted for determinism.
+func (g *Graph) Neighbors(id string) []string {
+	i, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, g.ids[j])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// neighborIndices returns adjacent dense indices, sorted for determinism.
+func (g *Graph) neighborIndices(i int) []int {
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PathEta returns the end-to-end transmissivity (product of edge
+// transmissivities) along the given node path, or an error if a hop is
+// missing.
+func (g *Graph) PathEta(path []string) (float64, error) {
+	if len(path) == 0 {
+		return 0, fmt.Errorf("routing: empty path")
+	}
+	eta := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		e, ok := g.Eta(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("routing: path uses missing edge %s-%s", path[i], path[i+1])
+		}
+		eta *= e
+	}
+	return eta, nil
+}
+
+// EdgeEtas returns the per-hop transmissivities along path.
+func (g *Graph) EdgeEtas(path []string) ([]float64, error) {
+	if len(path) < 2 {
+		return nil, nil
+	}
+	out := make([]float64, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		e, ok := g.Eta(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("routing: path uses missing edge %s-%s", path[i], path[i+1])
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

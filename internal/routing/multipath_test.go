@@ -1,0 +1,173 @@
+package routing
+
+import (
+	"math"
+	"testing"
+)
+
+func diamondGraph(t *testing.T) *Graph {
+	// Two disjoint s→d routes plus a direct weak edge.
+	g := NewGraph()
+	mustAdd(t, g, "s", "a", 0.9)
+	mustAdd(t, g, "a", "d", 0.9)
+	mustAdd(t, g, "s", "b", 0.8)
+	mustAdd(t, g, "b", "d", 0.8)
+	mustAdd(t, g, "s", "d", 0.3)
+	return g
+}
+
+func TestClone(t *testing.T) {
+	g := diamondGraph(t)
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone shape differs")
+	}
+	c.RemoveEdge("s", "a")
+	if _, ok := g.Eta("s", "a"); !ok {
+		t.Fatal("mutating the clone affected the original")
+	}
+}
+
+func TestEdgeDisjointPathsDiamond(t *testing.T) {
+	g := diamondGraph(t)
+	paths, err := EdgeDisjointPaths(g, "s", "d", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("found %d paths, want 3", len(paths))
+	}
+	// Best first: via a (0.81), via b (0.64), direct (0.3).
+	etas := make([]float64, len(paths))
+	for i, p := range paths {
+		eta, err := g.PathEta(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etas[i] = eta
+	}
+	if math.Abs(etas[0]-0.81) > 1e-12 || math.Abs(etas[1]-0.64) > 1e-12 || math.Abs(etas[2]-0.3) > 1e-12 {
+		t.Fatalf("path etas %v", etas)
+	}
+	// Pairwise edge-disjoint.
+	used := map[[2]string]bool{}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]string{a, b}
+			if used[key] {
+				t.Fatalf("edge %v reused across paths", key)
+			}
+			used[key] = true
+		}
+	}
+}
+
+func TestEdgeDisjointPathsBudget(t *testing.T) {
+	g := diamondGraph(t)
+	paths, err := EdgeDisjointPaths(g, "s", "d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("budget ignored: %d paths", len(paths))
+	}
+}
+
+func TestEdgeDisjointPathsUnreachable(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g, "s", "a", 0.9)
+	g.AddNode("d")
+	paths, err := EdgeDisjointPaths(g, "s", "d", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("unreachable dst yielded %d paths", len(paths))
+	}
+}
+
+func TestEdgeDisjointPathsRejectsBadInput(t *testing.T) {
+	g := diamondGraph(t)
+	if _, err := EdgeDisjointPaths(g, "s", "d", 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := EdgeDisjointPaths(g, "nope", "d", 1); err == nil {
+		t.Fatal("unknown src accepted")
+	}
+	if _, err := EdgeDisjointPaths(g, "s", "s", 1); err == nil {
+		t.Fatal("src==dst accepted")
+	}
+}
+
+func TestMultipathSuccessProbability(t *testing.T) {
+	g := diamondGraph(t)
+	paths, err := EdgeDisjointPaths(g, "s", "d", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.MultipathSuccessProbability(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.81)*(1-0.64)*(1-0.3)
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("combined probability %g, want %g", p, want)
+	}
+	// More paths can only help.
+	single, err := g.MultipathSuccessProbability(paths[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= single {
+		t.Fatal("adding disjoint paths did not raise success probability")
+	}
+	// Bad path reported.
+	if _, err := g.MultipathSuccessProbability([][]string{{"s", "zzz"}}); err == nil {
+		t.Fatal("bogus path accepted")
+	}
+}
+
+func TestEdgeDisjointOnRandomGraphs(t *testing.T) {
+	// Property: returned paths are simple, edge-disjoint, and etas
+	// non-increasing.
+	g := benchGraph(20)
+	nodes := g.Nodes()
+	src, dst := nodes[0], nodes[len(nodes)-1]
+	paths, err := EdgeDisjointPaths(g, src, dst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	used := map[[2]string]bool{}
+	for _, p := range paths {
+		eta, err := g.PathEta(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eta > prev+1e-12 {
+			t.Fatalf("path etas not non-increasing: %g after %g", eta, prev)
+		}
+		prev = eta
+		seen := map[string]bool{}
+		for i, n := range p {
+			if seen[n] {
+				t.Fatalf("non-simple path %v", p)
+			}
+			seen[n] = true
+			if i+1 < len(p) {
+				a, b := p[i], p[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				if used[[2]string{a, b}] {
+					t.Fatalf("edge reuse in %v", p)
+				}
+				used[[2]string{a, b}] = true
+			}
+		}
+	}
+}

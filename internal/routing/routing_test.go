@@ -1,0 +1,349 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lineGraph(etas ...float64) *Graph {
+	g := NewGraph()
+	for i, eta := range etas {
+		a := fmt.Sprintf("n%d", i)
+		b := fmt.Sprintf("n%d", i+1)
+		if err := g.AddEdge(a, b, eta); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge("a", "b", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "c", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if eta, ok := g.Eta("b", "a"); !ok || eta != 0.9 {
+		t.Fatalf("Eta(b,a) = %v,%v", eta, ok)
+	}
+	if _, ok := g.Eta("a", "c"); ok {
+		t.Fatal("a-c should not exist")
+	}
+	g.RemoveEdge("a", "b")
+	if _, ok := g.Eta("a", "b"); ok {
+		t.Fatal("edge not removed")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges=%d after removal, want 1", g.NumEdges())
+	}
+}
+
+func TestGraphRejectsBadEdges(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge("a", "a", 0.5); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge("a", "b", -0.1); err == nil {
+		t.Error("negative transmissivity accepted")
+	}
+	if err := g.AddEdge("a", "b", 1.5); err == nil {
+		t.Error("transmissivity > 1 accepted")
+	}
+	if err := g.AddEdge("a", "b", math.NaN()); err == nil {
+		t.Error("NaN transmissivity accepted")
+	}
+}
+
+func TestPathEta(t *testing.T) {
+	g := lineGraph(0.9, 0.8, 0.5)
+	eta, err := g.PathEta([]string{"n0", "n1", "n2", "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 0.8 * 0.5
+	if math.Abs(eta-want) > 1e-12 {
+		t.Fatalf("PathEta %g, want %g", eta, want)
+	}
+	if _, err := g.PathEta([]string{"n0", "n2"}); err == nil {
+		t.Fatal("missing edge not reported")
+	}
+}
+
+func TestBellmanFordLine(t *testing.T) {
+	g := lineGraph(0.9, 0.8)
+	tbl := BellmanFord(g, DefaultEpsilon)
+	path, err := tbl.Path("n0", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != "n0" || path[1] != "n1" || path[2] != "n2" {
+		t.Fatalf("path %v", path)
+	}
+	cost, err := tbl.Cost("n0", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CostFromEta(0.9, DefaultEpsilon) + CostFromEta(0.8, DefaultEpsilon)
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("cost %g, want %g", cost, want)
+	}
+}
+
+func TestBellmanFordPrefersHighTransmissivity(t *testing.T) {
+	// Two routes a->b: direct with low eta, and via r with two high-eta
+	// hops. With the 1/(eta+eps) metric the direct edge costs 1/0.2 = 5,
+	// the relay route costs 1/0.9+1/0.9 ≈ 2.22, so routing goes via r.
+	g := NewGraph()
+	mustAdd(t, g, "a", "b", 0.2)
+	mustAdd(t, g, "a", "r", 0.9)
+	mustAdd(t, g, "r", "b", 0.9)
+	tbl := BellmanFord(g, DefaultEpsilon)
+	path, err := tbl.Path("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != "r" {
+		t.Fatalf("expected relay path, got %v", path)
+	}
+}
+
+func TestBellmanFordUnreachable(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g, "a", "b", 0.9)
+	g.AddNode("island")
+	tbl := BellmanFord(g, DefaultEpsilon)
+	if tbl.Reachable("a", "island") {
+		t.Fatal("island should be unreachable")
+	}
+	if _, err := tbl.Path("a", "island"); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestBellmanFordSelfPath(t *testing.T) {
+	g := lineGraph(0.9)
+	tbl := BellmanFord(g, DefaultEpsilon)
+	path, err := tbl.Path("n0", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != "n0" {
+		t.Fatalf("self path %v", path)
+	}
+	c, _ := tbl.Cost("n0", "n0")
+	if c != 0 {
+		t.Fatalf("self cost %g", c)
+	}
+}
+
+// randomConnectedGraph builds a connected random graph: a random spanning
+// tree plus extra random edges, with transmissivities in [0.1, 1].
+func randomConnectedGraph(rng *rand.Rand, n, extraEdges int) *Graph {
+	g := NewGraph()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("v%02d", i)
+		g.AddNode(ids[i])
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		_ = g.AddEdge(ids[i], ids[j], 0.1+0.9*rng.Float64())
+	}
+	for k := 0; k < extraEdges; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			_ = g.AddEdge(ids[i], ids[j], 0.1+0.9*rng.Float64())
+		}
+	}
+	return g
+}
+
+func TestAlgorithm1MatchesClassicBellmanFord(t *testing.T) {
+	// The paper's distance-vector Algorithm 1 must converge to the same
+	// optimal costs as the textbook single-source algorithm.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := randomConnectedGraph(rng, n, n)
+		tbl := BellmanFord(g, DefaultEpsilon)
+		for _, src := range g.Nodes() {
+			classic, err := ClassicBellmanFord(g, src, InverseEtaCost(DefaultEpsilon))
+			if err != nil {
+				return false
+			}
+			for _, dst := range g.Nodes() {
+				c1, err := tbl.Cost(src, dst)
+				if err != nil {
+					return false
+				}
+				if math.Abs(c1-classic.Dist[dst]) > 1e-6*(1+classic.Dist[dst]) {
+					t.Logf("seed %d: cost mismatch %s->%s: %g vs %g", seed, src, dst, c1, classic.Dist[dst])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraMatchesClassicBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := randomConnectedGraph(rng, n, 2*n)
+		for _, cost := range []CostFunc{InverseEtaCost(0), NegLogEtaCost(0), HopCountCost()} {
+			src := g.Nodes()[rng.Intn(n)]
+			d, err := Dijkstra(g, src, cost)
+			if err != nil {
+				return false
+			}
+			b, err := ClassicBellmanFord(g, src, cost)
+			if err != nil {
+				return false
+			}
+			for _, dst := range g.Nodes() {
+				if math.Abs(d.Dist[dst]-b.Dist[dst]) > 1e-9*(1+b.Dist[dst]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathCostConsistency(t *testing.T) {
+	// The cost reported by the tables must equal the sum of per-edge
+	// costs along the reconstructed path.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n, n)
+		tbl := BellmanFord(g, DefaultEpsilon)
+		nodes := g.Nodes()
+		for trial := 0; trial < 10; trial++ {
+			src := nodes[rng.Intn(n)]
+			dst := nodes[rng.Intn(n)]
+			path, err := tbl.Path(src, dst)
+			if err != nil {
+				return false
+			}
+			etas, err := g.EdgeEtas(path)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, eta := range etas {
+				sum += CostFromEta(eta, DefaultEpsilon)
+			}
+			cost, _ := tbl.Cost(src, dst)
+			if math.Abs(sum-cost) > 1e-6*(1+cost) {
+				t.Logf("seed %d: path cost %g != table cost %g (path %v)", seed, sum, cost, path)
+				return false
+			}
+			// Paths must be simple.
+			seen := map[string]bool{}
+			for _, p := range path {
+				if seen[p] {
+					t.Logf("seed %d: non-simple path %v", seed, path)
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestTransmissivityPathOptimal(t *testing.T) {
+	// Brute-force check on a small graph: BestTransmissivityPath must find
+	// the maximum-product path.
+	rng := rand.New(rand.NewSource(99))
+	g := randomConnectedGraph(rng, 7, 7)
+	nodes := g.Nodes()
+	src, dst := nodes[0], nodes[len(nodes)-1]
+	_, eta, err := BestTransmissivityPath(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bruteBestEta(g, src, dst)
+	if math.Abs(eta-best) > 1e-9 {
+		t.Fatalf("best path eta %g, brute force %g", eta, best)
+	}
+}
+
+// bruteBestEta enumerates all simple paths (small graphs only).
+func bruteBestEta(g *Graph, src, dst string) float64 {
+	best := 0.0
+	var dfs func(cur string, eta float64, visited map[string]bool)
+	dfs = func(cur string, eta float64, visited map[string]bool) {
+		if cur == dst {
+			if eta > best {
+				best = eta
+			}
+			return
+		}
+		for _, nb := range g.Neighbors(cur) {
+			if visited[nb] {
+				continue
+			}
+			e, _ := g.Eta(cur, nb)
+			visited[nb] = true
+			dfs(nb, eta*e, visited)
+			visited[nb] = false
+		}
+	}
+	dfs(src, 1, map[string]bool{src: true})
+	return best
+}
+
+func TestInverseEtaMetricCanBeSuboptimalForProduct(t *testing.T) {
+	// Documented property motivating the ablation: the paper's 1/(η+ε)
+	// metric does not always maximize end-to-end transmissivity. Two
+	// moderately lossy hops can have lower summed inverse cost than one
+	// very good + one bad hop, while the product ordering differs.
+	g := NewGraph()
+	mustAdd(t, g, "s", "m1", 0.5)
+	mustAdd(t, g, "m1", "d", 0.5) // product 0.25, cost 2+2 = 4
+	mustAdd(t, g, "s", "m2", 1.0)
+	mustAdd(t, g, "m2", "d", 0.28) // product 0.28, cost 1+3.57 = 4.57
+	tbl := BellmanFord(g, DefaultEpsilon)
+	path, err := tbl.Path("s", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etaPaper, _ := g.PathEta(path)
+	_, etaBest, err := BestTransmissivityPath(g, "s", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[1] != "m1" {
+		t.Fatalf("expected the paper metric to pick the m1 route, got %v", path)
+	}
+	if !(etaBest > etaPaper) {
+		t.Fatalf("expected a strictly better product path (%g vs %g)", etaBest, etaPaper)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, a, b string, eta float64) {
+	t.Helper()
+	if err := g.AddEdge(a, b, eta); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"qntn/internal/orbit"
+)
+
+// FuzzRead exercises the CSV decoder with arbitrary inputs: it must never
+// panic, and any successfully parsed sheet set must re-encode and re-parse
+// to the same shape.
+func FuzzRead(f *testing.F) {
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,0,1,2,3\n")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,60,1,0,0\nS,0,2,0,0\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,xx,1,2,3\n")
+
+	elems, err := orbit.PaperConstellation(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sheets, err := orbit.GenerateSheets(elems[:1], 2*time.Minute, 30*time.Second)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sheets); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded input failed: %v", err)
+		}
+		if len(again) != len(parsed) {
+			t.Fatalf("sheet count changed across round trip: %d vs %d", len(again), len(parsed))
+		}
+		for i := range parsed {
+			if len(again[i].Samples) != len(parsed[i].Samples) {
+				t.Fatalf("sheet %d sample count changed", i)
+			}
+		}
+	})
+}

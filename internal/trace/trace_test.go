@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qntn/internal/orbit"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sats, err := orbit.PaperConstellation(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sheets, err := orbit.GenerateSheets(sats, 5*time.Minute, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sheets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sheets) {
+		t.Fatalf("sheet count %d, want %d", len(got), len(sheets))
+	}
+	for i, s := range sheets {
+		g := got[i]
+		if g.Name != s.Name {
+			t.Fatalf("sheet %d name %q, want %q", i, g.Name, s.Name)
+		}
+		if g.Interval != s.Interval {
+			t.Fatalf("sheet %d interval %v, want %v", i, g.Interval, s.Interval)
+		}
+		if len(g.Samples) != len(s.Samples) {
+			t.Fatalf("sheet %d sample count %d, want %d", i, len(g.Samples), len(s.Samples))
+		}
+		for j := range s.Samples {
+			if g.Samples[j].T != s.Samples[j].T {
+				t.Fatalf("sheet %d sample %d time %v, want %v", i, j, g.Samples[j].T, s.Samples[j].T)
+			}
+			if d := g.Samples[j].ECEF.Distance(s.Samples[j].ECEF); math.Abs(d) > 1e-6 {
+				t.Fatalf("sheet %d sample %d position drifted %g m", i, j, d)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a,b,c,d,e\n",
+		"bad time":   "name,t_seconds,x_m,y_m,z_m\nS,xx,1,2,3\n",
+		"bad coord":  "name,t_seconds,x_m,y_m,z_m\nS,0,oops,2,3\n",
+		"ragged":     "name,t_seconds,x_m,y_m,z_m\nS,0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSortsOutOfOrderSamples(t *testing.T) {
+	in := "name,t_seconds,x_m,y_m,z_m\n" +
+		"S,60,1,0,0\n" +
+		"S,0,2,0,0\n" +
+		"S,30,3,0,0\n"
+	sheets, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sheets) != 1 {
+		t.Fatalf("%d sheets", len(sheets))
+	}
+	s := sheets[0]
+	if s.Interval != 30*time.Second {
+		t.Fatalf("interval %v", s.Interval)
+	}
+	if s.Samples[0].ECEF.X != 2 || s.Samples[1].ECEF.X != 3 || s.Samples[2].ECEF.X != 1 {
+		t.Fatalf("samples not sorted: %+v", s.Samples)
+	}
+}
+
+func TestReadSingleSample(t *testing.T) {
+	in := "name,t_seconds,x_m,y_m,z_m\nS,0,1,2,3\n"
+	sheets, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sheets[0].Interval != time.Second {
+		t.Fatalf("default interval %v", sheets[0].Interval)
+	}
+}
+
+func TestReadMultipleSheetsPreservesOrder(t *testing.T) {
+	in := "name,t_seconds,x_m,y_m,z_m\n" +
+		"B,0,1,0,0\nA,0,2,0,0\nB,30,3,0,0\nA,30,4,0,0\n"
+	sheets, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sheets) != 2 || sheets[0].Name != "B" || sheets[1].Name != "A" {
+		t.Fatalf("sheet order wrong: %v, %v", sheets[0].Name, sheets[1].Name)
+	}
+}
