@@ -1,0 +1,27 @@
+# Build / test / lint entry points; CI runs the same four targets.
+
+GO ?= go
+
+.PHONY: all build test race lint vet clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the project invariant checkers (unitsuffix, detrand, probrange,
+# errcheckclose) plus go vet; exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/qntnlint ./...
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

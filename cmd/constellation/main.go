@@ -75,16 +75,23 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	dst := w
+	var sheetFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		sheetFile = f
 		dst = f
 	}
-	if err := trace.Write(dst, sheets); err != nil {
-		return err
+	werr := trace.Write(dst, sheets)
+	if sheetFile != nil {
+		if cerr := sheetFile.Close(); werr == nil {
+			werr = cerr
+		}
+	}
+	if werr != nil {
+		return werr
 	}
 	if *out != "" {
 		fmt.Fprintf(w, "wrote %d sheets (%d samples each) to %s\n",

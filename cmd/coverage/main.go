@@ -57,9 +57,12 @@ func run(args []string, w io.Writer) error {
 				return ferr
 			}
 			sheets, rerr := trace.Read(f)
-			f.Close()
+			cerr := f.Close()
 			if rerr != nil {
 				return rerr
+			}
+			if cerr != nil {
+				return cerr
 			}
 			sc, err = qntn.NewSpaceGroundFromSheets(sheets, p)
 		} else {

@@ -1,0 +1,84 @@
+// Command qntnlint is the invariant-checking driver for the simulator: it
+// runs go vet's standard passes plus the four project analyzers
+// (unitsuffix, detrand, probrange, errcheckclose) over the given package
+// patterns and exits nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/qntnlint ./...
+//	go run ./cmd/qntnlint -vet=false ./internal/geo ./internal/orbit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"qntn/internal/lint"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run 'go vet' over the same patterns")
+	list := flag.Bool("analyzers", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: qntnlint [-vet=false] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		if err := runVet(patterns); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qntnlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qntnlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runVet shells out to the go tool so qntnlint gates on the standard vet
+// passes without depending on x/tools' unitchecker.
+func runVet(patterns []string) error {
+	args := append([]string{"vet"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "qntnlint: go vet %s: %v\n", strings.Join(patterns, " "), err)
+		return err
+	}
+	return nil
+}

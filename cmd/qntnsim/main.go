@@ -65,8 +65,12 @@ func (o options) writeCSV(name string, fn func(io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return fn(f)
+	werr := fn(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func run(args []string, w io.Writer) error {
@@ -107,9 +111,12 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		params, err = qntn.LoadParams(f)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return err
+		}
+		if cerr != nil {
+			return cerr
 		}
 	}
 	serveCfg := qntn.ServeConfig{

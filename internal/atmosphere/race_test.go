@@ -1,0 +1,105 @@
+package atmosphere
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestVerticalIntegralsConcurrent is a regression test for the vertCache
+// sync.Map: many goroutines hammer the memoized vertical integrals with a
+// mix of shared keys (cache-hit contention) and per-goroutine keys
+// (concurrent first-fill Stores), and every goroutine must observe the same
+// values as a sequential run. Run under -race this pins the cache's
+// thread-safety; the worst acceptable behavior is redundant computation,
+// never a torn or stale value.
+func TestVerticalIntegralsConcurrent(t *testing.T) {
+	p := HV57()
+	const (
+		goroutines = 16
+		iters      = 200
+	)
+
+	// Sequential reference values, computed before any concurrent access.
+	type keyVal struct{ lo, hi float64 }
+	keys := make([]keyVal, 0, goroutines+1)
+	keys = append(keys, keyVal{0, 20_000}) // shared hot key
+	for g := 0; g < goroutines; g++ {
+		keys = append(keys, keyVal{float64(100 * g), 20_000 + float64(500*g)})
+	}
+	wantPlain := make([]float64, len(keys))
+	wantWeighted := make([]float64, len(keys))
+	for i, k := range keys {
+		wantPlain[i], wantWeighted[i] = p.verticalIntegrals(k.lo, k.hi)
+	}
+
+	// Cold keys: never computed before the goroutines start, so all
+	// goroutines race to fill them (concurrent Store on the same key). Each
+	// goroutine records what it saw; afterwards every goroutine must agree.
+	const coldKeys = 32
+	cold := make([][]float64, goroutines)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx := i % len(keys)
+				plain, weighted := p.verticalIntegrals(keys[idx].lo, keys[idx].hi)
+				if plain != wantPlain[idx] || weighted != wantWeighted[idx] {
+					errs <- "concurrent verticalIntegrals diverged from sequential value"
+					return
+				}
+			}
+			for i := 0; i < coldKeys; i++ {
+				plain, weighted := p.verticalIntegrals(50, 30_000+float64(10*i))
+				cold[g] = append(cold[g], plain, weighted)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	for g := 1; g < goroutines; g++ {
+		if len(cold[g]) != len(cold[0]) {
+			t.Fatalf("goroutine %d recorded %d cold values, want %d", g, len(cold[g]), len(cold[0]))
+		}
+		for i := range cold[g] {
+			if cold[g][i] != cold[0][i] {
+				t.Fatalf("goroutine %d cold value %d = %g, goroutine 0 saw %g",
+					g, i, cold[g][i], cold[0][i])
+			}
+		}
+	}
+}
+
+// TestRytovVarianceConcurrent drives the public entry point concurrently:
+// RytovVariance shares vertCache with IntegrateCn2 and is what the channel
+// package calls from parallel experiment sweeps.
+func TestRytovVarianceConcurrent(t *testing.T) {
+	p := HV57()
+	want := p.RytovVariance(0, 500_000, 0.5, 1550e-9)
+	wantCn2 := p.IntegrateCn2(0, 500_000, 0.5)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := p.RytovVariance(0, 500_000, 0.5, 1550e-9); got != want {
+					t.Errorf("RytovVariance = %g, want %g", got, want)
+					return
+				}
+				if got := p.IntegrateCn2(0, 500_000, 0.5); got != wantCn2 {
+					t.Errorf("IntegrateCn2 = %g, want %g", got, wantCn2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

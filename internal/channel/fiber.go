@@ -43,7 +43,7 @@ func (f Fiber) Transmissivity(lengthM float64) float64 {
 // transmissivity drops to eta — the inverse of Transmissivity, useful for
 // sizing network layouts in tests and examples.
 func (f Fiber) LengthForTransmissivity(eta float64) float64 {
-	if eta <= 0 || eta > 1 || f.AttenuationDBPerKm == 0 {
+	if math.IsNaN(eta) || eta <= 0 || eta > 1 || f.AttenuationDBPerKm == 0 {
 		return math.Inf(1)
 	}
 	lossDB := -10 * math.Log10(eta)

@@ -68,7 +68,8 @@ func (c FSOConfig) waist() float64 {
 // transmitter designed for its typical link distance uses this value
 // (capped by its aperture radius by the caller).
 func OptimalWaist(wavelengthM, designRangeM float64) float64 {
-	if wavelengthM <= 0 || designRangeM <= 0 {
+	if math.IsNaN(wavelengthM) || math.IsNaN(designRangeM) ||
+		wavelengthM <= 0 || designRangeM <= 0 {
 		return 0
 	}
 	return math.Sqrt(wavelengthM * designRangeM / math.Pi)

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids the two determinism leaks that would silently break
+// movement-sheet replays inside internal/ simulation packages: calls to
+// math/rand's global top-level functions (which share unseeded process
+// state) and time.Now() (wall-clock coupling). Constructing a seeded
+// generator — rand.New(rand.NewSource(seed)) — is the approved pattern and
+// stays allowed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "simulation packages must use an injected seeded *rand.Rand and " +
+		"explicit timestamps, not global math/rand functions or time.Now",
+	Run: runDetRand,
+}
+
+// detRandAllowed are the math/rand functions that build injectable
+// generators rather than drawing from the global source.
+var detRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !pass.Pkg.hasPathElement("internal") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath := selectedPackagePath(info, sel)
+		switch pkgPath {
+		case "math/rand", "math/rand/v2":
+			if !detRandAllowed[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+					sel.Sel.Name)
+			}
+		case "time":
+			if sel.Sel.Name == "Now" {
+				pass.Reportf(call.Pos(),
+					"time.Now couples the simulation to the wall clock; pass an explicit timestamp or simulated time instead")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// selectedPackagePath returns the import path of the package a selector
+// selects from, or "" when the selector base is not a package name (method
+// calls on values stay anonymous here, which is what keeps *rand.Rand
+// method calls legal).
+func selectedPackagePath(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}

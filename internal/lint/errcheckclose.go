@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errCheckMethods are the writer-lifecycle methods whose errors carry the
+// only evidence of a failed write: a movement sheet or experiment CSV that
+// lost its tail looks complete until replay diverges.
+var errCheckMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Write": true,
+	"WriteString": true, "WriteAll": true,
+}
+
+// ErrCheckClose flags statements that discard the error returned by
+// Close/Flush/Sync/Write method calls, including `defer f.Close()` on
+// writers. (Methods that return no error — e.g. csv.Writer.Flush, which is
+// checked via Error() — are not flagged.)
+var ErrCheckClose = &Analyzer{
+	Name: "errcheckclose",
+	Doc: "errors from Close/Flush/Sync/Write must be checked; a dropped " +
+		"writer error silently truncates movement sheets and CSVs",
+	Run: runErrCheckClose,
+}
+
+func runErrCheckClose(pass *Pass) error {
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if name := droppedErrorCall(info, call); name != "" {
+					pass.Reportf(call.Pos(),
+						"error from %s is discarded; check it (a failed write or close loses data silently)",
+						name)
+				}
+			}
+		case *ast.DeferStmt:
+			if name := droppedErrorCall(info, stmt.Call); name != "" {
+				pass.Reportf(stmt.Pos(),
+					"deferred %s discards its error; close explicitly on the success path and check the error",
+					name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// droppedErrorCall reports the "recv.Method" label of a statement-position
+// method call whose error result is being discarded, or "" when the call is
+// not one of the watched methods, is a package-level function, or returns
+// no error.
+func droppedErrorCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errCheckMethods[sel.Sel.Name] {
+		return ""
+	}
+	// Package-level functions (trace.Write, fmt.Fprintf-style helpers) are
+	// out of scope: the invariant targets writer objects.
+	if selectedPackagePath(info, sel) != "" {
+		return ""
+	}
+	sig := callSignature(info, call)
+	if sig == nil || !signatureReturnsError(sig) {
+		return ""
+	}
+	if tv, ok := info.Types[sel.X]; ok && neverFailingWriter(tv.Type) {
+		return ""
+	}
+	return exprLabel(sel.X) + "." + sel.Sel.Name
+}
+
+// neverFailingWriter exempts receiver types whose Write-family methods are
+// documented to never return an error: strings.Builder, bytes.Buffer, and
+// hash.Hash implementations.
+func neverFailingWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "strings", "bytes", "hash":
+		return true
+	}
+	return false
+}
+
+// signatureReturnsError reports whether any result of the signature is the
+// built-in error type.
+func signatureReturnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// exprLabel renders a short label for the receiver expression.
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprLabel(e.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprLabel(e.X)
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[...]"
+	}
+	return "expression"
+}

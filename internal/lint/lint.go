@@ -1,0 +1,115 @@
+// Package lint is a self-contained static-analysis framework plus the
+// QNTN-specific invariant analyzers that run over it. It mirrors the shape
+// of golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
+// built entirely on the standard library's go/ast, go/parser, go/types and
+// go/importer packages, so the linter needs no third-party dependency.
+//
+// The invariants it enforces are the ones the Go type system cannot see:
+//
+//   - unitsuffix: float64 quantities with angle/length names must encode
+//     their unit in a name suffix (Rad, Deg, M, Km, ...), and call sites
+//     must not pass a ...Deg value into a ...Rad parameter (or M into Km).
+//   - detrand: simulation packages must draw randomness from an injected
+//     seeded *rand.Rand and take timestamps as arguments — global
+//     math/rand top-level functions and time.Now() break movement-sheet
+//     replay determinism.
+//   - probrange: probability/fidelity/transmissivity-named values must not
+//     be assigned literals outside [0,1], and channel/quantum functions
+//     applying math.Sqrt/math.Log* to parameters must carry a NaN guard
+//     (math.IsNaN/math.IsInf) or clamp.
+//   - errcheckclose: errors from Close/Flush/Write/Sync must not be
+//     silently discarded — a dropped writer error corrupts movement sheets
+//     and experiment CSVs without any symptom.
+//
+// cmd/qntnlint composes all four (plus `go vet`) into a one-command gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one invariant checker. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{UnitSuffix, DetRand, ProbRange, ErrCheckClose}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// inspectFiles walks every file of the package.
+func inspectFiles(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,128 @@
+// Package linttest is an analysistest-style harness for the internal/lint
+// analyzers: it loads a testdata package, runs one analyzer over it, and
+// compares the diagnostics against `// want "regexp"` comments placed on
+// the offending lines. Lines may carry several expectations; a diagnostic
+// with no matching want — or a want with no matching diagnostic — fails
+// the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"qntn/internal/lint"
+)
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each package directory under testdata/src and checks the
+// analyzer's diagnostics against the package's want comments. pkgs are
+// paths relative to testdata/src (for example "unitsuffix/geo"); they also
+// become the package's import path, so analyzers that scope by path
+// elements see the intended shape.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, rel := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(rel))
+		pkg, err := lint.LoadDir(dir, rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, rel, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("parse want comments in %s: %v", rel, err)
+		}
+		check(t, rel, diags, wants)
+	}
+}
+
+// check matches diagnostics against expectations one-to-one by file+line.
+func check(t *testing.T, pkg string, diags []lint.Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != filepath.Base(d.Position.Filename) || w.line != d.Position.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				pkg, filepath.Base(d.Position.Filename), d.Position.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				pkg, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// wantRE extracts the string literals of a want clause: double-quoted
+// (backslash escapes allowed) or backquoted.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants scans every comment of the package for want clauses.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				exp, err := parseWant(pkg, c)
+				if err != nil {
+					return nil, err
+				}
+				wants = append(wants, exp...)
+			}
+		}
+	}
+	return wants, nil
+}
+
+func parseWant(pkg *lint.Package, c *ast.Comment) ([]*expectation, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var wants []*expectation
+	for _, lit := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+		pattern := lit[1 : len(lit)-1]
+		if lit[0] == '"' {
+			pattern = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(pattern)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", pos.Filename, pos.Line, lit, err)
+		}
+		wants = append(wants, &expectation{
+			file:    filepath.Base(pos.Filename),
+			line:    pos.Line,
+			pattern: re,
+		})
+	}
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("%s:%d: want comment with no pattern", pos.Filename, pos.Line)
+	}
+	return wants, nil
+}

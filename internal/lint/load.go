@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("qntn/internal/geo", or a testdata-relative
+	// path like "unitsuffix/geo" under the linttest harness).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// pathElements returns the slash-separated elements of the import path.
+func (p *Package) pathElements() []string {
+	return strings.Split(p.Path, "/")
+}
+
+// hasPathElement reports whether elem appears as a path element.
+func (p *Package) hasPathElement(elem string) bool {
+	for _, e := range p.pathElements() {
+		if e == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// lastPathElement returns the final element of the import path.
+func (p *Package) lastPathElement() string {
+	el := p.pathElements()
+	return el[len(el)-1]
+}
+
+// Load enumerates the packages matching the go-command patterns (for
+// example "./...") via `go list`, then parses and type-checks each from
+// source. Test files (_test.go) are excluded: the invariants guard
+// production simulation paths, and test helpers legitimately use patterns
+// (fixed literals, buffers whose Close never fails) the analyzers flag.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		path, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("lint: malformed go list line %q", line)
+		}
+		pkg, err := loadDir(fset, imp, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, giving it the
+// provided import path. It is the entry point used by the linttest harness
+// for testdata packages that live outside the module.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := loadDir(fset, imp, dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// loadDir parses the non-test Go files of dir and type-checks them with
+// imports resolved from source. Returns (nil, nil) for directories with no
+// buildable Go files (e.g. pattern matches with only test files).
+func loadDir(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+	"unicode"
+)
+
+// camelWords splits an identifier into lowercase words on camelCase (and
+// snake_case) boundaries. Acronym runs stay together until a lowercase
+// letter starts a new word: "RAANRad" -> ["raan", "rad"],
+// "HAPLatDeg" -> ["hap", "lat", "deg"], "attenuationDBPerKm" ->
+// ["attenuation", "db", "per", "km"]. Digits stay attached to the word they
+// follow: "Eta1" -> ["eta1"].
+func camelWords(name string) []string {
+	var words []string
+	runes := []rune(name)
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			words = append(words, strings.ToLower(string(runes[start:end])))
+		}
+		start = end
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case r == '_':
+			flush(i)
+			start = i + 1
+		case unicode.IsUpper(r):
+			if i > start && !unicode.IsUpper(runes[i-1]) {
+				// lower/digit -> Upper: new word starts here.
+				flush(i)
+			} else if i > start && i+1 < len(runes) && unicode.IsLower(runes[i+1]) {
+				// End of an acronym run: "RAANRad" splits before the 'R'
+				// that begins "Rad".
+				flush(i)
+			}
+		}
+	}
+	flush(len(runes))
+	return words
+}
+
+// stripDigits removes trailing digits from a word ("eta1" -> "eta").
+func stripDigits(w string) string {
+	return strings.TrimRight(w, "0123456789")
+}
+
+// lastWord returns the final camel word of name, or "".
+func lastWord(name string) string {
+	words := camelWords(name)
+	if len(words) == 0 {
+		return ""
+	}
+	return words[len(words)-1]
+}
+
+// hasWord reports whether any camel word of name (with trailing digits
+// stripped) is in set.
+func hasWord(name string, set map[string]bool) bool {
+	for _, w := range camelWords(name) {
+		if set[stripDigits(w)] {
+			return true
+		}
+	}
+	return false
+}

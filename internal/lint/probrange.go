@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// probWords are the camel words that mark a value as a probability-like
+// quantity constrained to [0,1].
+var probWords = map[string]bool{
+	"fidelity": true, "transmissivity": true, "probability": true,
+	"prob": true, "eta": true,
+}
+
+// probExcludeWords veto the classification: a "...Percent" value lives in
+// [0,100] and a "...DB" value is logarithmic.
+var probExcludeWords = map[string]bool{"percent": true, "db": true}
+
+// nanGuardPackages are the numeric hot-path packages (matched on the final
+// import-path element) where Sqrt/Log results must be NaN-guarded.
+var nanGuardPackages = map[string]bool{"channel": true, "quantum": true}
+
+// nanSources are the math functions whose result is NaN for out-of-domain
+// inputs.
+var nanSources = map[string]bool{
+	"Sqrt": true, "Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Asin": true, "Acos": true,
+}
+
+// nanGuards are the calls whose presence in a function body marks it as
+// domain-aware: explicit NaN/Inf checks and the clamping helpers used
+// throughout internal/quantum. The x != x idiom is deliberately not
+// recognized — the lint's position is that math.IsNaN is the readable
+// spelling.
+var nanGuardFuncs = map[string]bool{
+	"IsNaN": true, "IsInf": true, "Max": true, "Min": true, "Abs": true,
+	"clamp01": true, "clamp": true, "Clamp": true, "Clamp01": true,
+}
+
+// ProbRange enforces the [0,1] invariant on probability-named values two
+// ways: literal assignments/returns outside the interval are flagged
+// everywhere, and in internal/channel + internal/quantum, exported
+// functions that feed a float64 parameter into math.Sqrt/math.Log* must
+// carry a NaN guard (math.IsNaN/math.IsInf) or clamp the input.
+var ProbRange = &Analyzer{
+	Name: "probrange",
+	Doc: "probability/fidelity/transmissivity values must stay in [0,1]; " +
+		"Sqrt/Log hot paths need math.IsNaN guards or clamps",
+	Run: runProbRange,
+}
+
+func runProbRange(pass *Pass) error {
+	checkProbLiterals(pass)
+	if nanGuardPackages[pass.Pkg.lastPathElement()] {
+		checkNaNGuards(pass)
+	}
+	return nil
+}
+
+// isProbName reports whether name denotes a [0,1] quantity.
+func isProbName(name string) bool {
+	if hasWord(name, probExcludeWords) {
+		return false
+	}
+	return hasWord(name, probWords)
+}
+
+// literalFloat extracts the value of a numeric literal, handling a leading
+// unary minus. ok is false for any non-literal expression.
+func literalFloat(e ast.Expr) (v float64, ok bool) {
+	neg := false
+	if u, isUnary := e.(*ast.UnaryExpr); isUnary {
+		switch u.Op {
+		case token.SUB:
+			neg, e = true, u.X
+		case token.ADD:
+			e = u.X
+		default:
+			return 0, false
+		}
+	}
+	lit, isLit := e.(*ast.BasicLit)
+	if !isLit || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.ReplaceAll(lit.Value, "_", ""), 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+func checkProbLiterals(pass *Pass) {
+	reportOutOfRange := func(pos token.Pos, name string, v float64) {
+		if v < 0 || v > 1 {
+			pass.Reportf(pos, "%s is a probability-like quantity; literal %g is outside [0,1]", name, v)
+		}
+	}
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				name := exprName(lhs)
+				if name == "" || !isProbName(name) {
+					continue
+				}
+				if v, ok := literalFloat(n.Rhs[i]); ok {
+					reportOutOfRange(n.Rhs[i].Pos(), name, v)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i >= len(n.Values) || !isProbName(id.Name) {
+					continue
+				}
+				if v, ok := literalFloat(n.Values[i]); ok {
+					reportOutOfRange(n.Values[i].Pos(), id.Name, v)
+				}
+			}
+		case *ast.KeyValueExpr:
+			key, ok := n.Key.(*ast.Ident)
+			if !ok || !isProbName(key.Name) {
+				return true
+			}
+			if v, ok := literalFloat(n.Value); ok {
+				reportOutOfRange(n.Value.Pos(), key.Name, v)
+			}
+		case *ast.FuncDecl:
+			checkProbReturns(pass, n)
+		}
+		return true
+	})
+}
+
+// checkProbReturns flags out-of-range literal returns from functions whose
+// name marks the result as a probability.
+func checkProbReturns(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || !isProbName(fn.Name.Name) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures name their own contracts
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if v, ok := literalFloat(res); ok && (v < 0 || v > 1) {
+				pass.Reportf(res.Pos(),
+					"%s returns a probability-like quantity; literal %g is outside [0,1]",
+					fn.Name.Name, v)
+			}
+		}
+		return true
+	})
+}
+
+func checkNaNGuards(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			params := float64Params(info, fn)
+			if len(params) == 0 {
+				continue
+			}
+			if bodyHasNaNGuard(info, fn.Body) {
+				continue
+			}
+			reportUnguardedNaNSources(pass, fn, params)
+		}
+	}
+}
+
+// float64Params collects the types.Object of every float64 parameter.
+func float64Params(info *types.Info, fn *ast.FuncDecl) map[types.Object]string {
+	params := make(map[types.Object]string)
+	if fn.Type.Params == nil {
+		return params
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; isFloat64(obj) {
+				params[obj] = name.Name
+			}
+		}
+	}
+	return params
+}
+
+// bodyHasNaNGuard reports whether the function body contains any
+// recognized guard call (math.IsNaN, math.IsInf, math.Max/Min/Abs, or a
+// clamp helper).
+func bodyHasNaNGuard(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if selectedPackagePath(info, fun) == "math" && nanGuardFuncs[fun.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if nanGuardFuncs[fun.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportUnguardedNaNSources flags math.Sqrt/math.Log* calls whose argument
+// mentions a float64 parameter of the enclosing unguarded function.
+func reportUnguardedNaNSources(pass *Pass, fn *ast.FuncDecl, params map[types.Object]string) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || selectedPackagePath(info, sel) != "math" || !nanSources[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if param := mentionsParam(info, arg, params); param != "" {
+				pass.Reportf(call.Pos(),
+					"math.%s on parameter %q in %s without a NaN guard: add math.IsNaN/math.IsInf checks or clamp the input",
+					sel.Sel.Name, param, fn.Name.Name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// mentionsParam returns the name of the first function parameter referenced
+// inside expr, or "".
+func mentionsParam(info *types.Info, expr ast.Expr, params map[types.Object]string) string {
+	name := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pname, isParam := params[info.Uses[id]]; isParam {
+			name = pname
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"qntn/internal/lint"
+	"qntn/internal/lint/linttest"
+)
+
+func TestProbRange(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ProbRange, "probrange/channel", "probrange/quantum")
+}

@@ -1,0 +1,38 @@
+// Package sim is detrand testdata: an internal/ simulation package that
+// must draw randomness from an injected seeded generator and take time as
+// an argument.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadJitter draws from the global math/rand source — nondeterministic
+// across runs and goroutine interleavings.
+func BadJitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global math/rand source`
+}
+
+// BadPick uses another global top-level function.
+func BadPick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// BadStamp couples the simulation to the wall clock.
+func BadStamp() time.Duration {
+	return time.Since(time.Now()) // want `time\.Now couples the simulation to the wall clock`
+}
+
+// GoodJitter is the injected-generator pattern used by
+// internal/qntn/arrivals.go: constructing the seeded source is allowed, and
+// method calls on the injected *rand.Rand are allowed.
+func GoodJitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// GoodStamp takes simulated time explicitly.
+func GoodStamp(now time.Duration) time.Duration {
+	return now + time.Second
+}

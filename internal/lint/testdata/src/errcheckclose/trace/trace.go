@@ -1,0 +1,64 @@
+// Package trace is errcheckclose testdata: movement-sheet-style writers
+// whose Close/Flush/Write errors are the only evidence of a truncated
+// file. BadExport mirrors the pre-cleanup cmd/constellation pattern
+// (deferred Close on a writer); GoodExport mirrors the fix.
+package trace
+
+import (
+	"encoding/csv"
+	"os"
+	"strings"
+)
+
+// BadExport drops writer errors twice: once on the deferred Close and once
+// on a statement-position Write.
+func BadExport(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()             // want `deferred f\.Close discards its error`
+	f.Write([]byte("header\n")) // want `error from f\.Write is discarded`
+	w := csv.NewWriter(f)
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush() // csv.Writer.Flush returns no error; checked via w.Error()
+	return w.Error()
+}
+
+// GoodExport closes explicitly on every path and returns the first error.
+func GoodExport(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	var werr error
+	for _, r := range rows {
+		if werr = w.Write(r); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		w.Flush()
+		werr = w.Error()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Render uses a strings.Builder, whose WriteString is documented to never
+// fail — exempt.
+func Render(rows []string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

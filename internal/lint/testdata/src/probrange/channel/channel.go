@@ -1,0 +1,71 @@
+// Package channel is probrange testdata. BadLengthForEta mirrors the
+// pre-cleanup internal/channel/fiber.go (math.Log10 of an unguarded
+// parameter); GoodLengthForEta mirrors the fixed version.
+package channel
+
+import "math"
+
+// BadLengthForEta inverts a transmissivity without guarding against NaN:
+// a NaN eta slips past both comparisons and propagates.
+func BadLengthForEta(eta float64) float64 {
+	if eta <= 0 || eta > 1 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(eta) // want `math\.Log10 on parameter "eta" in BadLengthForEta without a NaN guard`
+}
+
+// GoodLengthForEta carries the explicit math.IsNaN guard.
+func GoodLengthForEta(eta float64) float64 {
+	if eta <= 0 || eta > 1 || math.IsNaN(eta) {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(eta)
+}
+
+// BadWaist mirrors the pre-cleanup OptimalWaist: Sqrt of a parameter
+// product with no domain guard.
+func BadWaist(wavelengthM, rangeM float64) float64 {
+	return math.Sqrt(wavelengthM * rangeM / math.Pi) // want `math\.Sqrt on parameter "wavelengthM" in BadWaist without a NaN guard`
+}
+
+// GoodWaist guards its domain first.
+func GoodWaist(wavelengthM, rangeM float64) float64 {
+	if wavelengthM <= 0 || rangeM <= 0 || math.IsNaN(wavelengthM) || math.IsNaN(rangeM) {
+		return 0
+	}
+	return math.Sqrt(wavelengthM * rangeM / math.Pi)
+}
+
+// internalSqrt is unexported: callers inside the package own the domain.
+func internalSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Config exercises the literal range check on composite literals and
+// assignments.
+type Config struct {
+	MinTransmissivity float64
+	LossDB            float64
+}
+
+// BadConfig assigns out-of-range literals to probability-named values.
+func BadConfig() Config {
+	c := Config{
+		MinTransmissivity: 1.4, // want `MinTransmissivity is a probability-like quantity; literal 1\.4 is outside \[0,1\]`
+		LossDB:            3.5,
+	}
+	c.MinTransmissivity = -0.2 // want `MinTransmissivity is a probability-like quantity; literal -0\.2 is outside \[0,1\]`
+	return c
+}
+
+// GoodConfig stays in range.
+func GoodConfig() Config {
+	return Config{MinTransmissivity: 0.7, LossDB: 3.5}
+}
+
+// DefaultFidelity returns a probability-like quantity; out-of-range
+// literal returns are flagged.
+func DefaultFidelity(ideal bool) float64 {
+	if ideal {
+		return 1
+	}
+	return 2.5 // want `DefaultFidelity returns a probability-like quantity; literal 2\.5 is outside \[0,1\]`
+}

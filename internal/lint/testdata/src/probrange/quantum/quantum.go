@@ -1,0 +1,43 @@
+// Package quantum is probrange testdata mirroring the clamp-style fixes in
+// internal/quantum: a recognized clamp helper (or math.IsNaN) in the body
+// marks the function as domain-aware.
+package quantum
+
+import "math"
+
+// BadBellFidelity mirrors the pre-cleanup AnalyticBellFidelity: a manual
+// if/else clamp that silently passes NaN through to math.Sqrt.
+func BadBellFidelity(eta float64) float64 {
+	if eta < 0 {
+		eta = 0
+	} else if eta > 1 {
+		eta = 1
+	}
+	return (1 + math.Sqrt(eta)) / 2 // want `math\.Sqrt on parameter "eta" in BadBellFidelity without a NaN guard`
+}
+
+// GoodBellFidelity clamps through the package helper, which maps NaN into
+// the domain as well.
+func GoodBellFidelity(eta float64) float64 {
+	eta = clamp01(eta)
+	return (1 + math.Sqrt(eta)) / 2
+}
+
+// GoodDamping carries an explicit math.IsNaN rejection, the pattern the
+// cleanup installed in AmplitudeDamping/PhaseDamping.
+func GoodDamping(eta float64) (float64, bool) {
+	if math.IsNaN(eta) || eta < 0 || eta > 1 {
+		return 0, false
+	}
+	return math.Sqrt(1 - eta), true
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,54 @@
+// Package geo is unitsuffix testdata: the "bad" declarations mirror the
+// unit-ambiguous shapes the analyzer exists to prevent; the "good" ones are
+// the suffixed spellings the real internal/geo package uses.
+package geo
+
+// BadLook has exported float64 fields with angle/length names but no unit
+// suffix.
+type BadLook struct {
+	Azimuth    float64 // want `exported float64 field Azimuth needs a unit suffix`
+	Elevation  float64 // want `exported float64 field Elevation needs a unit suffix`
+	SlantRange float64 // want `exported float64 field SlantRange needs a unit suffix`
+}
+
+// GoodLook is the fixed spelling.
+type GoodLook struct {
+	AzimuthRad   float64
+	ElevationRad float64
+	SlantRangeM  float64
+}
+
+// Dimensionless quantities carry no unit and need no suffix.
+type Dimensionless struct {
+	Eccentricity   float64
+	Transmissivity float64
+}
+
+// BadHorizon takes unsuffixed angle/length parameters.
+func BadHorizon(altitude, elevation float64) float64 { // want `parameter altitude of exported BadHorizon` `parameter elevation of exported BadHorizon`
+	return altitude * elevation
+}
+
+// GoodHorizon is the fixed signature.
+func GoodHorizon(altitudeM, elevationRad float64) float64 {
+	return altitudeM * elevationRad
+}
+
+// unexported helpers may use short local names freely.
+func slant(alt float64) float64 { return alt }
+
+// PointAt converts; its parameter names carry the unit contract checked at
+// call sites.
+func PointAt(raanRad, altKm float64) float64 { return raanRad + altKm }
+
+// CallSites exercises the cross-unit argument check.
+func CallSites() float64 {
+	var nodeRaanDeg float64 = 40
+	var nodeRaanRad float64 = 0.7
+	var siteAltM float64 = 500
+	var siteAltKm float64 = 0.5
+	a := PointAt(nodeRaanDeg, siteAltKm) // want `argument nodeRaanDeg \(unit deg\) passed to parameter raanRad \(unit rad\)`
+	b := PointAt(nodeRaanRad, siteAltM)  // want `argument siteAltM \(unit m\) passed to parameter altKm \(unit km\)`
+	c := PointAt(nodeRaanRad, siteAltKm)
+	return a + b + c
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unitKeywords are quantity words whose float64 carriers are ambiguous
+// without an explicit unit: angles (degrees vs radians), lengths (meters vs
+// kilometers), and the handful of other dimensioned quantities the
+// simulator passes around. Dimensionless quantities (eccentricity, optical
+// depth, transmissivity, Cn2) are deliberately absent.
+var unitKeywords = map[string]bool{
+	// Angles.
+	"angle": true, "azimuth": true, "elevation": true, "inclination": true,
+	"raan": true, "anomaly": true, "declination": true, "twilight": true,
+	"jitter": true, "lat": true, "latitude": true, "lon": true,
+	"longitude": true, "bearing": true,
+	// Lengths.
+	"alt": true, "altitude": true, "range": true, "dist": true,
+	"distance": true, "radius": true, "height": true, "length": true,
+	"waist": true, "wavelength": true, "lambda": true, "clearance": true,
+	"aperture": true, "separation": true,
+	// Times and frequencies carried as float64 (time.Duration values are
+	// self-describing and skipped by the float64 type filter).
+	"delay": true, "period": true, "interval": true, "frequency": true,
+}
+
+// unitSuffixes are the accepted final name words. "s"/"ms"/"sec" cover
+// seconds and milliseconds, "mps"/"ms" metre-per-second style rates.
+var unitSuffixes = map[string]bool{
+	"rad": true, "deg": true, "m": true, "km": true, "mm": true,
+	"sec": true, "s": true, "ms": true, "hz": true, "db": true,
+	"mps": true,
+}
+
+// unitSuffixPackages are the geometry/physics packages whose exported
+// surface must be unit-suffixed (matched against the final import-path
+// element so the linttest testdata packages participate too).
+var unitSuffixPackages = map[string]bool{
+	"geo": true, "orbit": true, "astro": true, "atmosphere": true,
+	"channel": true,
+}
+
+// UnitSuffix flags exported float64 struct fields and exported-function
+// parameters whose names contain an angle/length keyword but no unit
+// suffix, and flags call sites anywhere in the module that pass a
+// ...Deg-named value into a ...Rad-named parameter (or M into Km, and vice
+// versa).
+var UnitSuffix = &Analyzer{
+	Name: "unitsuffix",
+	Doc: "float64 angle/length quantities must carry a unit suffix " +
+		"(Rad, Deg, M, Km, Sec, Hz, DB) and units must agree at call sites",
+	Run: runUnitSuffix,
+}
+
+func runUnitSuffix(pass *Pass) error {
+	if unitSuffixPackages[pass.Pkg.lastPathElement()] {
+		checkUnitNames(pass)
+	}
+	checkUnitCallSites(pass)
+	return nil
+}
+
+// needsSuffix reports whether name contains a unit keyword but does not end
+// in an accepted unit suffix.
+func needsSuffix(name string) bool {
+	return hasWord(name, unitKeywords) && !unitSuffixes[stripDigits(lastWord(name))]
+}
+
+// isFloat64 reports whether the object's type is exactly float64.
+func isFloat64(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	b, ok := obj.Type().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func checkUnitNames(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				for _, name := range field.Names {
+					if !name.IsExported() || !isFloat64(info.Defs[name]) {
+						continue
+					}
+					if needsSuffix(name.Name) {
+						pass.Reportf(name.Pos(),
+							"exported float64 field %s needs a unit suffix (Rad, Deg, M, Km, Sec, Hz, DB)",
+							name.Name)
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if !n.Name.IsExported() || n.Type.Params == nil {
+				return true
+			}
+			for _, field := range n.Type.Params.List {
+				for _, name := range field.Names {
+					if !isFloat64(info.Defs[name]) {
+						continue
+					}
+					if needsSuffix(name.Name) {
+						pass.Reportf(name.Pos(),
+							"float64 parameter %s of exported %s needs a unit suffix (Rad, Deg, M, Km, Sec, Hz, DB)",
+							name.Name, n.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// conflictingUnits maps a name suffix to the suffixes it must not be mixed
+// with at a call boundary.
+var conflictingUnits = map[string]map[string]bool{
+	"deg": {"rad": true},
+	"rad": {"deg": true},
+	"m":   {"km": true, "mm": true},
+	"km":  {"m": true, "mm": true},
+	"mm":  {"m": true, "km": true},
+	"sec": {"ms": true},
+	"ms":  {"sec": true, "s": true},
+	"s":   {"ms": true},
+}
+
+func checkUnitCallSites(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := callSignature(info, call)
+		if sig == nil {
+			return true
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+				break
+			}
+			argName := exprName(arg)
+			if argName == "" {
+				continue
+			}
+			argSuffix := stripDigits(lastWord(argName))
+			paramSuffix := stripDigits(lastWord(params.At(i).Name()))
+			if conflictingUnits[argSuffix][paramSuffix] {
+				pass.Reportf(arg.Pos(),
+					"argument %s (unit %s) passed to parameter %s (unit %s)",
+					argName, argSuffix, params.At(i).Name(), paramSuffix)
+			}
+		}
+		return true
+	})
+}
+
+// callSignature resolves the signature of a call's callee, or nil for type
+// conversions and builtins.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// exprName returns the bare name of an identifier or field selection used
+// as an argument, or "" for anything more complex (expressions carry no
+// unit evidence).
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -52,7 +52,7 @@ func AmplitudeDamping(eta float64) (*Channel, error) {
 	// Tolerate tiny floating-point overshoot from products/sweeps of
 	// transmissivities; reject anything materially outside [0,1].
 	const slack = 1e-9
-	if eta < -slack || eta > 1+slack || eta != eta {
+	if eta < -slack || eta > 1+slack || math.IsNaN(eta) {
 		return nil, fmt.Errorf("quantum: amplitude damping transmissivity %v outside [0,1]", eta)
 	}
 	if eta < 0 {

@@ -15,7 +15,7 @@ import (
 // Populations are untouched; coherences scale by sqrt(1-γ).
 func PhaseDamping(gamma float64) (*Channel, error) {
 	const slack = 1e-9
-	if gamma < -slack || gamma > 1+slack || gamma != gamma {
+	if gamma < -slack || gamma > 1+slack || math.IsNaN(gamma) {
 		return nil, fmt.Errorf("quantum: phase damping parameter %v outside [0,1]", gamma)
 	}
 	if gamma < 0 {

@@ -77,11 +77,7 @@ func BellFidelity(rho *Matrix) float64 {
 // transmissivity eta: F = (1 + sqrt(eta)) / 2. Used as a fast path by the
 // experiment harness and as an oracle in tests.
 func AnalyticBellFidelity(eta float64) float64 {
-	if eta < 0 {
-		eta = 0
-	} else if eta > 1 {
-		eta = 1
-	}
+	eta = clamp01(eta)
 	return (1 + math.Sqrt(eta)) / 2
 }
 
@@ -100,7 +96,7 @@ func AnalyticBellFidelityBothArms(eta1, eta2 float64) float64 {
 }
 
 func clamp01(x float64) float64 {
-	if x < 0 {
+	if x < 0 || math.IsNaN(x) {
 		return 0
 	}
 	if x > 1 {
