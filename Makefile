@@ -1,8 +1,8 @@
-# Build / test / lint entry points; CI runs the same four targets.
+# Build / test / lint entry points; CI runs the same targets.
 
 GO ?= go
 
-.PHONY: all build test race lint vet clean
+.PHONY: all build test race lint vet bench clean
 
 all: build test lint
 
@@ -12,6 +12,8 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers the whole module; the parallel sweep engine (internal/runner
+# and its internal/qntn call sites) is the part this target exists to gate.
 race:
 	$(GO) test -race ./...
 
@@ -22,6 +24,12 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# bench runs the sweep benchmarks once per worker count and writes the
+# machine-readable report (timings + parallel speedups) to BENCH_sweep.json.
+bench:
+	$(GO) test -bench=Sweep -benchtime=1x -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
+	@cat BENCH_sweep.json
 
 clean:
 	$(GO) clean ./...

@@ -17,7 +17,9 @@
 //	qntnsim all
 //
 // Global flags (before the subcommand): -seed, -steps, -requests,
-// -duration, -quick, -csvdir <dir>, -params <file>.
+// -duration, -quick, -csvdir <dir>, -params <file>, -parallel <N>
+// (sweep worker pool size; 0 means one worker per CPU — every sweep
+// produces identical output regardless of the value).
 package main
 
 import (
@@ -50,6 +52,7 @@ type options struct {
 	quick      bool
 	csvDir     string
 	paramsPath string
+	parallel   int
 }
 
 // writeCSV writes one experiment's CSV file into the -csvdir directory (a
@@ -84,6 +87,7 @@ func run(args []string, w io.Writer) error {
 	fs.BoolVar(&opt.quick, "quick", false, "scale workloads down for a fast smoke run")
 	fs.StringVar(&opt.csvDir, "csvdir", "", "also write machine-readable CSVs into this directory")
 	fs.StringVar(&opt.paramsPath, "params", "", "load simulation parameters from a JSON file (see the `params` subcommand)")
+	fs.IntVar(&opt.parallel, "parallel", 0, "sweep worker pool size (0 = one worker per CPU); results are identical at any value")
 	fs.Usage = func() {
 		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|multipath|throughput|arrivals|params|all")
 		fs.PrintDefaults()
@@ -136,7 +140,7 @@ func run(args []string, w io.Writer) error {
 	case "table3":
 		return runTable3(w, params, serveCfg, opt.duration, opt)
 	case "ablations":
-		return runAblations(w, params, serveCfg, opt.duration)
+		return runAblations(w, params, serveCfg, opt.duration, opt.parallel)
 	case "latency":
 		return runLatency(w, params, serveCfg, opt)
 	case "purify":
@@ -148,11 +152,11 @@ func run(args []string, w io.Writer) error {
 	case "params":
 		return qntn.SaveParams(w, params)
 	case "statewide":
-		return runStatewide(w, params, serveCfg, opt.duration)
+		return runStatewide(w, params, serveCfg, opt.duration, opt.parallel)
 	case "outage":
 		return runOutage(w, params, serveCfg, opt.duration)
 	case "multipath":
-		return runMultipath(w, params, serveCfg)
+		return runMultipath(w, params, serveCfg, opt.parallel)
 	case "throughput":
 		return runThroughput(w, params, serveCfg)
 	case "arrivals":
@@ -164,14 +168,14 @@ func run(args []string, w io.Writer) error {
 			func() error { return runFig78(w, params, serveCfg, "fig7", opt) },
 			func() error { return runFig78(w, params, serveCfg, "fig8", opt) },
 			func() error { return runTable3(w, params, serveCfg, opt.duration, opt) },
-			func() error { return runAblations(w, params, serveCfg, opt.duration) },
+			func() error { return runAblations(w, params, serveCfg, opt.duration, opt.parallel) },
 			func() error { return runLatency(w, params, serveCfg, opt) },
 			func() error { return runPurify(w, opt) },
 			func() error { return runQKD(w, params, opt) },
 			func() error { return runNight(w, params, serveCfg, opt.duration, opt) },
-			func() error { return runStatewide(w, params, serveCfg, opt.duration) },
+			func() error { return runStatewide(w, params, serveCfg, opt.duration, opt.parallel) },
 			func() error { return runOutage(w, params, serveCfg, opt.duration) },
-			func() error { return runMultipath(w, params, serveCfg) },
+			func() error { return runMultipath(w, params, serveCfg, opt.parallel) },
 			func() error { return runThroughput(w, params, serveCfg) },
 			func() error { return runArrivals(w, params, opt.duration, opt.seed) },
 		} {
@@ -213,7 +217,7 @@ func runFig5(w io.Writer, opt options) error {
 }
 
 func runFig6(w io.Writer, p qntn.Params, duration time.Duration, opt options) error {
-	points, err := experiments.Fig6(p, duration)
+	points, err := experiments.Fig6Parallel(p, duration, opt.parallel)
 	if err != nil {
 		return err
 	}
@@ -241,7 +245,7 @@ func runFig6(w io.Writer, p qntn.Params, duration time.Duration, opt options) er
 }
 
 func runFig78(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, which string, opt options) error {
-	points, err := experiments.Fig7And8(p, cfg)
+	points, err := experiments.Fig7And8Parallel(p, cfg, opt.parallel)
 	if err != nil {
 		return err
 	}
@@ -278,7 +282,7 @@ func runFig78(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, which string, op
 }
 
 func runTable3(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration, opt options) error {
-	rows, err := experiments.Table3(p, cfg, duration)
+	rows, err := experiments.Table3Parallel(p, cfg, duration, opt.parallel)
 	if err != nil {
 		return err
 	}
@@ -298,10 +302,10 @@ func runTable3(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.D
 		[]string{"architecture", "P (coverage)", "serving requests", "entanglement fidelity"}, cells)
 }
 
-func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration) error {
+func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration, parallel int) error {
 	const nSats = orbit.MaxPaperSatellites
 
-	routing, err := experiments.AblationRoutingMetric(p, nSats, cfg)
+	routing, err := experiments.AblationRoutingMetricParallel(p, nSats, cfg, parallel)
 	if err != nil {
 		return err
 	}
@@ -316,7 +320,7 @@ func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	conv, err := experiments.AblationFidelityConvention(p, nSats, cfg)
+	conv, err := experiments.AblationFidelityConventionParallel(p, nSats, cfg, parallel)
 	if err != nil {
 		return err
 	}
@@ -330,7 +334,7 @@ func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	masks, err := experiments.AblationElevationMask(p, nSats, duration, []float64{10, 15, 20, 25, 30})
+	masks, err := experiments.AblationElevationMaskParallel(p, nSats, duration, []float64{10, 15, 20, 25, 30}, parallel)
 	if err != nil {
 		return err
 	}
@@ -344,7 +348,7 @@ func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	placement, err := experiments.AblationSourcePlacement(p, nSats, cfg)
+	placement, err := experiments.AblationSourcePlacementParallel(p, nSats, cfg, parallel)
 	if err != nil {
 		return err
 	}
@@ -358,7 +362,7 @@ func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	turb, err := experiments.AblationTurbulence(p, nSats, cfg, []float64{0, 0.05, 0.1, 0.25, 0.5, 1})
+	turb, err := experiments.AblationTurbulenceParallel(p, nSats, cfg, []float64{0, 0.05, 0.1, 0.25, 0.5, 1}, parallel)
 	if err != nil {
 		return err
 	}
@@ -376,8 +380,8 @@ func runAblations(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	design, err := experiments.AblationOrbitDesign(p, nSats, duration,
-		[]float64{400, 500, 700, 1000}, []float64{40, 53, 70})
+	design, err := experiments.AblationOrbitDesignParallel(p, nSats, duration,
+		[]float64{400, 500, 700, 1000}, []float64{40, 53, 70}, parallel)
 	if err != nil {
 		return err
 	}
@@ -505,7 +509,7 @@ func runNight(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Du
 		[]string{"architecture", "operation", "coverage", "served"}, cells)
 }
 
-func runStatewide(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration) error {
+func runStatewide(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.Duration, parallel int) error {
 	positions, connected, total, err := experiments.StatewidePlacement(p, 6)
 	if err != nil {
 		return err
@@ -516,7 +520,7 @@ func runStatewide(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration tim
 	}
 	fmt.Fprintln(w)
 
-	rows, err := experiments.ExtensionStatewideStudy(p, cfg, duration, []int{1, 2, 3})
+	rows, err := experiments.ExtensionStatewideStudyParallel(p, cfg, duration, []int{1, 2, 3}, parallel)
 	if err != nil {
 		return err
 	}
@@ -551,8 +555,8 @@ func runOutage(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.D
 		[]string{"outage prob/step", "coverage", "served", "intervals"}, cells)
 }
 
-func runMultipath(w io.Writer, p qntn.Params, cfg qntn.ServeConfig) error {
-	rows, err := experiments.ExtensionMultipathStudy(p, orbit.MaxPaperSatellites, cfg, 3)
+func runMultipath(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, parallel int) error {
+	rows, err := experiments.ExtensionMultipathStudyParallel(p, orbit.MaxPaperSatellites, cfg, 3, parallel)
 	if err != nil {
 		return err
 	}

@@ -286,3 +286,30 @@ func TestRunArrivalsQuick(t *testing.T) {
 		t.Fatalf("arrivals output:\n%s", b.String())
 	}
 }
+
+// TestRunParallelFlagOutputInvariant pins the CLI determinism claim: a
+// sweep subcommand prints byte-identical output for any -parallel value.
+func TestRunParallelFlagOutputInvariant(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "8"} {
+		var b strings.Builder
+		if err := run([]string{"-quick", "-parallel", workers, "fig6"}, &b); err != nil {
+			t.Fatalf("-parallel %s: %v", workers, err)
+		}
+		outputs = append(outputs, b.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("fig6 output differs between -parallel 1 and -parallel %d:\n%s\nvs\n%s",
+				[]int{1, 2, 8}[i], outputs[0], outputs[i])
+		}
+	}
+}
+
+// TestRunParallelFlagRejected ensures flag parsing still catches garbage.
+func TestRunParallelFlagRejected(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-parallel", "lots", "fig6"}, &b); err == nil {
+		t.Fatal("non-numeric -parallel accepted")
+	}
+}

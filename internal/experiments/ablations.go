@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"time"
 
@@ -10,6 +10,7 @@ import (
 	"qntn/internal/orbit"
 	"qntn/internal/qntn"
 	"qntn/internal/routing"
+	"qntn/internal/runner"
 	"qntn/internal/stats"
 )
 
@@ -31,6 +32,14 @@ type RoutingMetricResult struct {
 // and exposes the metrics' different choices. The same request workload is
 // replayed for every metric.
 func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]RoutingMetricResult, error) {
+	return AblationRoutingMetricParallel(p, nSats, cfg, 0)
+}
+
+// AblationRoutingMetricParallel fans the three metrics out over the worker
+// pool. The scenario is shared (its link evaluation is pure) and each
+// metric owns its workload generator and output slot, so the comparison is
+// identical for any worker count.
+func AblationRoutingMetricParallel(p qntn.Params, nSats int, cfg qntn.ServeConfig, workers int) ([]RoutingMetricResult, error) {
 	sc, err := qntn.NewHybrid(nSats, p)
 	if err != nil {
 		return nil, err
@@ -48,8 +57,9 @@ func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]Ro
 	}
 	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
 
-	out := make([]RoutingMetricResult, 0, len(metrics))
-	for _, m := range metrics {
+	out := make([]RoutingMetricResult, len(metrics))
+	err = runner.Map(context.Background(), len(metrics), workers, func(_ context.Context, mi int) error {
+		m := metrics[mi]
 		wl := qntn.NewWorkload(sc, cfg.Seed)
 		var fids, etas, hops []float64
 		attempted, served := 0, 0
@@ -57,7 +67,7 @@ func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]Ro
 			at := time.Duration(step) * stepGap
 			g, err := sc.Graph(at)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// One Dijkstra per distinct source in this step's batch.
 			bySrc := make(map[string]*routing.SingleSourceResult)
@@ -67,7 +77,7 @@ func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]Ro
 				if !ok {
 					res, err = routing.Dijkstra(g, req.Src, m.cost)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					bySrc[req.Src] = res
 				}
@@ -76,11 +86,11 @@ func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]Ro
 				}
 				path, err := res.PathTo(req.Dst)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				hopEtas, err := g.EdgeEtas(path)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				eta := 1.0
 				for _, e := range hopEtas {
@@ -99,7 +109,11 @@ func AblationRoutingMetric(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]Ro
 		r.MeanFidelity = stats.Mean(fids)
 		r.MeanPathEta = stats.Mean(etas)
 		r.MeanHops = stats.Mean(hops)
-		out = append(out, r)
+		out[mi] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,23 +130,28 @@ type ConventionResult struct {
 // under the root and squared Uhlmann conventions — quantifying the
 // discrepancy documented in DESIGN.md.
 func AblationFidelityConvention(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]ConventionResult, error) {
-	scenarios := make(map[string]*qntn.Scenario, 2)
+	return AblationFidelityConventionParallel(p, nSats, cfg, 0)
+}
+
+// AblationFidelityConventionParallel fans the two architectures out over
+// the worker pool; each task owns its scenario and output slot.
+func AblationFidelityConventionParallel(p qntn.Params, nSats int, cfg qntn.ServeConfig, workers int) ([]ConventionResult, error) {
 	space, err := qntn.NewSpaceGround(nSats, p)
 	if err != nil {
 		return nil, err
 	}
-	scenarios[qntn.SpaceGround.String()] = space
 	air, err := qntn.NewAirGround(p)
 	if err != nil {
 		return nil, err
 	}
-	scenarios[qntn.AirGround.String()] = air
+	scenarios := []*qntn.Scenario{space, air}
+	names := []string{qntn.SpaceGround.String(), qntn.AirGround.String()}
 
-	var out []ConventionResult
-	for _, name := range []string{qntn.SpaceGround.String(), qntn.AirGround.String()} {
-		res, err := scenarios[name].RunServe(cfg)
+	out := make([]ConventionResult, len(scenarios))
+	err = runner.Map(context.Background(), len(scenarios), workers, func(_ context.Context, i int) error {
+		res, err := scenarios[i].RunServe(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var roots, squares []float64
 		for _, o := range res.Metrics.Outcomes {
@@ -141,11 +160,15 @@ func AblationFidelityConvention(p qntn.Params, nSats int, cfg qntn.ServeConfig) 
 				squares = append(squares, o.Fidelity*o.Fidelity)
 			}
 		}
-		out = append(out, ConventionResult{
-			Architecture: name,
+		out[i] = ConventionResult{
+			Architecture: names[i],
 			MeanRoot:     stats.Mean(roots),
 			MeanSquared:  stats.Mean(squares),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -165,8 +188,16 @@ type TurbulenceResult struct {
 // the paper's future-work question of how weather affects each
 // architecture.
 func AblationTurbulence(p qntn.Params, nSats int, cfg qntn.ServeConfig, scales []float64) ([]TurbulenceResult, error) {
-	var out []TurbulenceResult
-	for _, s := range scales {
+	return AblationTurbulenceParallel(p, nSats, cfg, scales, 0)
+}
+
+// AblationTurbulenceParallel fans the turbulence scales out over the worker
+// pool; each scale builds its own pair of scenarios and owns its output
+// slot.
+func AblationTurbulenceParallel(p qntn.Params, nSats int, cfg qntn.ServeConfig, scales []float64, workers int) ([]TurbulenceResult, error) {
+	out := make([]TurbulenceResult, len(scales))
+	err := runner.Map(context.Background(), len(scales), workers, func(_ context.Context, i int) error {
+		s := scales[i]
 		ps := p
 		if s > 0 {
 			hv := atmosphere.HV57().Scaled(s)
@@ -176,27 +207,31 @@ func AblationTurbulence(p qntn.Params, nSats int, cfg qntn.ServeConfig, scales [
 		}
 		space, err := qntn.NewSpaceGround(nSats, ps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		spaceRes, err := space.RunServe(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		air, err := qntn.NewAirGround(ps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		airRes, err := air.RunServe(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, TurbulenceResult{
+		out[i] = TurbulenceResult{
 			Scale:              s,
 			SpaceServedPercent: spaceRes.ServedPercent,
 			SpaceMeanFidelity:  spaceRes.MeanFidelity,
 			AirServedPercent:   airRes.ServedPercent,
 			AirMeanFidelity:    airRes.MeanFidelity,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -211,15 +246,26 @@ type MaskResult struct {
 // quantifying how strongly the paper's π/9 choice drives the coverage
 // result.
 func AblationElevationMask(p qntn.Params, nSats int, duration time.Duration, masksDeg []float64) ([]MaskResult, error) {
-	var out []MaskResult
-	for _, deg := range masksDeg {
+	return AblationElevationMaskParallel(p, nSats, duration, masksDeg, 0)
+}
+
+// AblationElevationMaskParallel fans the masks out over the worker pool.
+// The inner coverage sweep runs single-worker: the outer fan-out already
+// saturates the pool, and nesting pools would oversubscribe the CPUs.
+func AblationElevationMaskParallel(p qntn.Params, nSats int, duration time.Duration, masksDeg []float64, workers int) ([]MaskResult, error) {
+	out := make([]MaskResult, len(masksDeg))
+	err := runner.Map(context.Background(), len(masksDeg), workers, func(_ context.Context, i int) error {
 		pm := p
-		pm.MinElevationRad = geo.Rad(deg)
-		points, err := qntn.CoverageSweep(pm, []int{nSats}, duration)
+		pm.MinElevationRad = geo.Rad(masksDeg[i])
+		points, err := qntn.CoverageSweepParallel(pm, []int{nSats}, duration, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, MaskResult{MaskDeg: deg, CoveragePercent: points[0].Result.Percent()})
+		out[i] = MaskResult{MaskDeg: masksDeg[i], CoveragePercent: points[0].Result.Percent()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -235,31 +281,43 @@ type PlacementResult struct {
 // Micius-style) model with keeping the entanglement source at the
 // requesting endpoint.
 func AblationSourcePlacement(p qntn.Params, nSats int, cfg qntn.ServeConfig) ([]PlacementResult, error) {
-	var out []PlacementResult
-	for _, model := range []qntn.FidelityModel{qntn.SourceAtBestSplit, qntn.SourceAtEndpoint} {
+	return AblationSourcePlacementParallel(p, nSats, cfg, 0)
+}
+
+// AblationSourcePlacementParallel fans the model × architecture grid out
+// over the worker pool; every cell builds its own scenario and owns its
+// output slot, preserving the sequential row order (per model: space, then
+// air).
+func AblationSourcePlacementParallel(p qntn.Params, nSats int, cfg qntn.ServeConfig, workers int) ([]PlacementResult, error) {
+	models := []qntn.FidelityModel{qntn.SourceAtBestSplit, qntn.SourceAtEndpoint}
+	out := make([]PlacementResult, 2*len(models))
+	err := runner.Grid(context.Background(), len(models), 2, workers, func(_ context.Context, mi, arch int) error {
 		pm := p
-		pm.FidelityModel = model
-		space, err := qntn.NewSpaceGround(nSats, pm)
-		if err != nil {
-			return nil, err
+		pm.FidelityModel = models[mi]
+		var (
+			sc   *qntn.Scenario
+			name string
+			err  error
+		)
+		if arch == 0 {
+			sc, err = qntn.NewSpaceGround(nSats, pm)
+			name = qntn.SpaceGround.String()
+		} else {
+			sc, err = qntn.NewAirGround(pm)
+			name = qntn.AirGround.String()
 		}
-		spaceRes, err := space.RunServe(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, PlacementResult{qntn.SpaceGround.String(), model, spaceRes.MeanFidelity})
-		air, err := qntn.NewAirGround(pm)
+		res, err := sc.RunServe(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		airRes, err := air.RunServe(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PlacementResult{qntn.AirGround.String(), model, airRes.MeanFidelity})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("experiments: no placement results")
+		out[mi*2+arch] = PlacementResult{name, models[mi], res.MeanFidelity}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -277,22 +335,31 @@ type OrbitDesignResult struct {
 // higher orbits see more of Tennessee but their longer slant ranges push
 // links below the transmissivity threshold.
 func AblationOrbitDesign(p qntn.Params, nSats int, duration time.Duration, altitudesKM, inclinationsDeg []float64) ([]OrbitDesignResult, error) {
-	var out []OrbitDesignResult
-	for _, alt := range altitudesKM {
-		for _, incl := range inclinationsDeg {
-			pp := p
-			pp.SatelliteAltitudeM = alt * 1000
-			pp.InclinationDeg = incl
-			points, err := qntn.CoverageSweep(pp, []int{nSats}, duration)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, OrbitDesignResult{
-				AltitudeKM:      alt,
-				InclinationDeg:  incl,
-				CoveragePercent: points[0].Result.Percent(),
-			})
+	return AblationOrbitDesignParallel(p, nSats, duration, altitudesKM, inclinationsDeg, 0)
+}
+
+// AblationOrbitDesignParallel fans the altitude × inclination grid out over
+// the worker pool; each design point owns its output slot and runs its
+// inner coverage sweep single-worker (the grid saturates the pool).
+func AblationOrbitDesignParallel(p qntn.Params, nSats int, duration time.Duration, altitudesKM, inclinationsDeg []float64, workers int) ([]OrbitDesignResult, error) {
+	out := make([]OrbitDesignResult, len(altitudesKM)*len(inclinationsDeg))
+	err := runner.Grid(context.Background(), len(altitudesKM), len(inclinationsDeg), workers, func(_ context.Context, ai, ii int) error {
+		pp := p
+		pp.SatelliteAltitudeM = altitudesKM[ai] * 1000
+		pp.InclinationDeg = inclinationsDeg[ii]
+		points, err := qntn.CoverageSweepParallel(pp, []int{nSats}, duration, 1)
+		if err != nil {
+			return err
 		}
+		out[ai*len(inclinationsDeg)+ii] = OrbitDesignResult{
+			AltitudeKM:      altitudesKM[ai],
+			InclinationDeg:  inclinationsDeg[ii],
+			CoveragePercent: points[0].Result.Percent(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,17 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"qntn/internal/orbit"
 	"qntn/internal/qntn"
+	"qntn/internal/runner"
 )
 
 // Fig6 computes the paper's Fig. 6: coverage percentage of the space-ground
 // network as a function of the number of satellites (6..108), over the
-// given period (the paper uses a full day).
+// given period (the paper uses a full day). Work is fanned out over the
+// default worker pool; see Fig6Parallel to pin the worker count.
 func Fig6(p qntn.Params, duration time.Duration) ([]qntn.CoveragePoint, error) {
-	return qntn.CoverageSweep(p, qntn.PaperSweepSizes(), duration)
+	return Fig6Parallel(p, duration, 0)
+}
+
+// Fig6Parallel is Fig6 with an explicit worker count (<= 0 selects one per
+// CPU). The result is identical for any worker count.
+func Fig6Parallel(p qntn.Params, duration time.Duration, workers int) ([]qntn.CoveragePoint, error) {
+	return qntn.CoverageSweepParallel(p, qntn.PaperSweepSizes(), duration, workers)
 }
 
 // Fig7And8 computes the paper's Fig. 7 (served entanglement distribution
@@ -19,7 +28,20 @@ func Fig6(p qntn.Params, duration time.Duration) ([]qntn.CoveragePoint, error) {
 // in one pass: both figures share the same workload of 100 random
 // inter-LAN requests over 100 satellite-movement steps.
 func Fig7And8(p qntn.Params, cfg qntn.ServeConfig) ([]qntn.ServePoint, error) {
-	return qntn.ServeSweep(p, qntn.PaperSweepSizes(), cfg)
+	return Fig7And8Parallel(p, cfg, 0)
+}
+
+// Fig7And8Parallel is Fig7And8 with an explicit worker count (<= 0 selects
+// one per CPU). The result is identical for any worker count.
+func Fig7And8Parallel(p qntn.Params, cfg qntn.ServeConfig, workers int) ([]qntn.ServePoint, error) {
+	return qntn.ServeSweepParallel(p, qntn.PaperSweepSizes(), cfg, workers)
+}
+
+// Fig7And8Stats runs the Fig. 7/8 sweep over independent workload replicas,
+// yielding the per-size mean and spread the paper's single-seed figures
+// lack. Replica seeds are derived deterministically from cfg.Seed.
+func Fig7And8Stats(p qntn.Params, cfg qntn.ServeConfig, replicas, workers int) ([]qntn.ServeStats, error) {
+	return qntn.ServeSweepReplicated(p, qntn.PaperSweepSizes(), cfg, replicas, workers)
 }
 
 // Table3Row is one architecture row of the paper's Table III comparison.
@@ -34,47 +56,52 @@ type Table3Row struct {
 // with 108 satellites versus the air-ground architecture, compared on
 // full-day coverage, served requests, and average entanglement fidelity.
 func Table3(p qntn.Params, cfg qntn.ServeConfig, coverageDuration time.Duration) ([]Table3Row, error) {
+	return Table3Parallel(p, cfg, coverageDuration, 0)
+}
+
+// Table3Parallel is Table3 with an explicit worker count. The four cells —
+// coverage and serve for each architecture — are independent, so they fan
+// out over the pool; each writes only its own slot and both cells of an
+// architecture share one immutable scenario, so the table is identical for
+// any worker count.
+func Table3Parallel(p qntn.Params, cfg qntn.ServeConfig, coverageDuration time.Duration, workers int) ([]Table3Row, error) {
 	if coverageDuration <= 0 {
 		coverageDuration = orbit.Day
 	}
-	var rows []Table3Row
-
 	space, err := qntn.NewSpaceGround(orbit.MaxPaperSatellites, p)
 	if err != nil {
 		return nil, err
 	}
-	spaceCov, err := space.Coverage(coverageDuration)
-	if err != nil {
-		return nil, err
-	}
-	spaceServe, err := space.RunServe(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, Table3Row{
-		Architecture:    qntn.SpaceGround.String(),
-		CoveragePercent: spaceCov.Percent(),
-		ServedPercent:   spaceServe.ServedPercent,
-		MeanFidelity:    spaceServe.MeanFidelity,
-	})
-
 	air, err := qntn.NewAirGround(p)
 	if err != nil {
 		return nil, err
 	}
-	airCov, err := air.Coverage(coverageDuration)
-	if err != nil {
-		return nil, err
+
+	rows := []Table3Row{
+		{Architecture: qntn.SpaceGround.String()},
+		{Architecture: qntn.AirGround.String()},
 	}
-	airServe, err := air.RunServe(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, Table3Row{
-		Architecture:    qntn.AirGround.String(),
-		CoveragePercent: airCov.Percent(),
-		ServedPercent:   airServe.ServedPercent,
-		MeanFidelity:    airServe.MeanFidelity,
+	scenarios := []*qntn.Scenario{space, air}
+	err = runner.Grid(context.Background(), len(scenarios), 2, workers, func(_ context.Context, row, cell int) error {
+		sc := scenarios[row]
+		if cell == 0 {
+			cov, err := sc.Coverage(coverageDuration)
+			if err != nil {
+				return err
+			}
+			rows[row].CoveragePercent = cov.Percent()
+			return nil
+		}
+		serve, err := sc.RunServe(cfg)
+		if err != nil {
+			return err
+		}
+		rows[row].ServedPercent = serve.ServedPercent
+		rows[row].MeanFidelity = serve.MeanFidelity
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
 }

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
+	"qntn/internal/netsim"
 	"qntn/internal/orbit"
 	"qntn/internal/qntn"
 	"qntn/internal/routing"
+	"qntn/internal/runner"
 	"qntn/internal/stats"
 )
 
@@ -28,6 +31,16 @@ type MultipathRow struct {
 // extracted and the combined delivery probability computed. k = 1 is the
 // paper's single-path routing.
 func ExtensionMultipathStudy(p qntn.Params, nSats int, cfg qntn.ServeConfig, maxPaths int) ([]MultipathRow, error) {
+	return ExtensionMultipathStudyParallel(p, nSats, cfg, maxPaths, 0)
+}
+
+// ExtensionMultipathStudyParallel is ExtensionMultipathStudy with an
+// explicit worker count. The request batches are drawn sequentially up
+// front (the workload RNG is a serial stream), then the per-step disjoint
+// path extraction — the expensive part — fans out over the pool; per-step
+// sample lists are concatenated in step order, so the result is identical
+// for any worker count.
+func ExtensionMultipathStudyParallel(p qntn.Params, nSats int, cfg qntn.ServeConfig, maxPaths int, workers int) ([]MultipathRow, error) {
 	sc, err := qntn.NewHybrid(nSats, p)
 	if err != nil {
 		return nil, err
@@ -37,23 +50,28 @@ func ExtensionMultipathStudy(p qntn.Params, nSats int, cfg qntn.ServeConfig, max
 	}
 	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
 
+	wl := qntn.NewWorkload(sc, cfg.Seed)
+	batches := make([][]netsim.Request, cfg.Steps)
+	for step := range batches {
+		batches[step] = wl.Batch(cfg.RequestsPerStep)
+	}
+
 	// Collect per-request disjoint path sets once, then score every
 	// budget against them.
 	type sample struct {
 		etas []float64 // per-path end-to-end transmissivities, best first
 	}
-	var samples []sample
-	wl := qntn.NewWorkload(sc, cfg.Seed)
-	for step := 0; step < cfg.Steps; step++ {
+	perStep := make([][]sample, cfg.Steps)
+	err = runner.Map(context.Background(), cfg.Steps, workers, func(_ context.Context, step int) error {
 		at := time.Duration(step) * stepGap
 		g, err := sc.Graph(at)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, req := range wl.Batch(cfg.RequestsPerStep) {
+		for _, req := range batches[step] {
 			paths, err := routing.EdgeDisjointPaths(g, req.Src, req.Dst, maxPaths)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if len(paths) == 0 {
 				continue
@@ -62,12 +80,20 @@ func ExtensionMultipathStudy(p qntn.Params, nSats int, cfg qntn.ServeConfig, max
 			for _, path := range paths {
 				eta, err := g.PathEta(path)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				s.etas = append(s.etas, eta)
 			}
-			samples = append(samples, s)
+			perStep[step] = append(perStep[step], s)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var samples []sample
+	for _, ss := range perStep {
+		samples = append(samples, ss...)
 	}
 
 	rows := make([]MultipathRow, 0, maxPaths)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"qntn/internal/geo"
 	"qntn/internal/qntn"
+	"qntn/internal/runner"
 )
 
 // StatewideRow reports one architecture option for the six-LAN extended
@@ -30,60 +32,76 @@ type StatewideRow struct {
 // Nashville and there is no intermediate LAN to chain through), while the
 // constellation serves all fifteen pairs whenever a satellite is up.
 func ExtensionStatewideStudy(p qntn.Params, cfg qntn.ServeConfig, window time.Duration, fleetSizes []int) ([]StatewideRow, error) {
+	return ExtensionStatewideStudyParallel(p, cfg, window, fleetSizes, 0)
+}
+
+// ExtensionStatewideStudyParallel fans the architecture options — one task
+// per HAP fleet size plus one for the constellation — out over the worker
+// pool. Every option builds its own scenario and writes only its own row,
+// so the table is identical for any worker count.
+func ExtensionStatewideStudyParallel(p qntn.Params, cfg qntn.ServeConfig, window time.Duration, fleetSizes []int, workers int) ([]StatewideRow, error) {
 	lans := qntn.ExtendedNetworks()
 	totalPairs := len(lans) * (len(lans) - 1) / 2
-	var rows []StatewideRow
+	rows := make([]StatewideRow, len(fleetSizes)+1)
 
-	for _, k := range fleetSizes {
-		placement, err := qntn.PlaceHAPs(p, lans, k, 0.15)
-		if err != nil {
-			return nil, err
+	err := runner.Map(context.Background(), len(rows), workers, func(_ context.Context, ti int) error {
+		if ti < len(fleetSizes) {
+			k := fleetSizes[ti]
+			placement, err := qntn.PlaceHAPs(p, lans, k, 0.15)
+			if err != nil {
+				return err
+			}
+			positions := placement.Positions
+			if len(positions) > k {
+				positions = positions[:k]
+			}
+			sc, err := qntn.NewMultiHAP(p, lans, positions)
+			if err != nil {
+				return err
+			}
+			row, err := statewideRow(sc, cfg, window)
+			if err != nil {
+				return err
+			}
+			suffix := "HAPs"
+			if len(positions) == 1 {
+				suffix = "HAP"
+			}
+			row.Architecture = fmt.Sprintf("air-ground (%d %s)", len(positions), suffix)
+			row.Platforms = len(positions)
+			row.ConnectedPairsPercent = 100 * float64(placement.ConnectedPairs) / float64(totalPairs)
+			rows[ti] = row
+			return nil
 		}
-		positions := placement.Positions
-		if len(positions) > k {
-			positions = positions[:k]
-		}
-		sc, err := qntn.NewMultiHAP(p, lans, positions)
-		if err != nil {
-			return nil, err
-		}
-		row, err := statewideRow(sc, cfg, window)
-		if err != nil {
-			return nil, err
-		}
-		suffix := "HAPs"
-		if len(positions) == 1 {
-			suffix = "HAP"
-		}
-		row.Architecture = fmt.Sprintf("air-ground (%d %s)", len(positions), suffix)
-		row.Platforms = len(positions)
-		row.ConnectedPairsPercent = 100 * float64(placement.ConnectedPairs) / float64(totalPairs)
-		rows = append(rows, row)
-	}
 
-	space, err := qntn.NewExtendedSpaceGround(108, p)
-	if err != nil {
-		return nil, err
-	}
-	row, err := statewideRow(space, cfg, window)
-	if err != nil {
-		return nil, err
-	}
-	row.Architecture = "space-ground (108 sats)"
-	row.Platforms = 108
-	// Satellites join every pair whenever one is visible to both cities.
-	detail, err := space.DetailedCoverage(window)
-	if err != nil {
-		return nil, err
-	}
-	joined := 0
-	for _, pc := range detail.Pairs {
-		if pc.Result.CoveredSteps > 0 {
-			joined++
+		space, err := qntn.NewExtendedSpaceGround(108, p)
+		if err != nil {
+			return err
 		}
+		row, err := statewideRow(space, cfg, window)
+		if err != nil {
+			return err
+		}
+		row.Architecture = "space-ground (108 sats)"
+		row.Platforms = 108
+		// Satellites join every pair whenever one is visible to both cities.
+		detail, err := space.DetailedCoverage(window)
+		if err != nil {
+			return err
+		}
+		joined := 0
+		for _, pc := range detail.Pairs {
+			if pc.Result.CoveredSteps > 0 {
+				joined++
+			}
+		}
+		row.ConnectedPairsPercent = 100 * float64(joined) / float64(totalPairs)
+		rows[ti] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	row.ConnectedPairsPercent = 100 * float64(joined) / float64(totalPairs)
-	rows = append(rows, row)
 	return rows, nil
 }
 

@@ -1,0 +1,153 @@
+package qntn
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchJSONPath, when set, makes TestMain write every sweep benchmark
+// result (plus derived parallel speedups) to the given file as JSON:
+//
+//	go test -bench=Sweep -benchtime=1x -run='^$' ./internal/qntn -args -benchjson=BENCH_sweep.json
+//
+// The emitter only records; it never asserts a speedup, because the
+// attainable speedup is a property of the host (on a single-CPU box it is
+// 1x by construction). CI archives the file so multi-core runs document
+// the scaling.
+var benchJSONPath = flag.String("benchjson", "", "write sweep benchmark results to this JSON file")
+
+type sweepBenchRecord struct {
+	// Name is the benchmark family ("CoverageSweep", "ServeSweep").
+	Name string `json:"name"`
+	// Workers is the pool size the family ran with.
+	Workers int `json:"workers"`
+	// Iterations and NsPerOp mirror the standard benchmark output.
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// SpeedupVs1 is NsPerOp(workers=1) / NsPerOp, filled in at flush time
+	// when the single-worker baseline was benchmarked in the same run.
+	SpeedupVs1 float64 `json:"speedup_vs_1,omitempty"`
+}
+
+var sweepBench struct {
+	sync.Mutex
+	records []sweepBenchRecord
+}
+
+// recordSweepBench captures a finished benchmark's timing for the JSON
+// emitter. Call it after the b.N loop.
+func recordSweepBench(b *testing.B, family string, workers int) {
+	b.Helper()
+	rec := sweepBenchRecord{
+		Name:       family,
+		Workers:    workers,
+		Iterations: b.N,
+		NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	sweepBench.Lock()
+	sweepBench.records = append(sweepBench.records, rec)
+	sweepBench.Unlock()
+}
+
+// flushSweepBench derives speedups and writes the JSON report.
+func flushSweepBench(path string) error {
+	sweepBench.Lock()
+	defer sweepBench.Unlock()
+	baseline := make(map[string]float64)
+	for _, r := range sweepBench.records {
+		if r.Workers == 1 {
+			baseline[r.Name] = r.NsPerOp
+		}
+	}
+	for i, r := range sweepBench.records {
+		if base, ok := baseline[r.Name]; ok && r.NsPerOp > 0 {
+			sweepBench.records[i].SpeedupVs1 = base / r.NsPerOp
+		}
+	}
+	report := struct {
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		NumCPU     int                `json:"num_cpu"`
+		Benchmarks []sweepBenchRecord `json:"benchmarks"`
+	}{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: sweepBench.records,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchJSONPath != "" {
+		if err := flushSweepBench(*benchJSONPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// benchWorkerCounts are the pool sizes each sweep family is measured at.
+var benchWorkerCounts = []int{1, 2, 4}
+
+// BenchmarkCoverageSweep measures the Fig. 6 sweep (all 18 paper sizes over
+// a two-hour window) at several worker counts.
+func BenchmarkCoverageSweep(b *testing.B) {
+	p := DefaultParams()
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CoverageSweepParallel(p, PaperSweepSizes(), 2*time.Hour, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordSweepBench(b, "CoverageSweep", workers)
+		})
+	}
+}
+
+// BenchmarkServeSweep measures the Fig. 7/8 sweep (all 18 paper sizes, a
+// quarter of the paper workload) at several worker counts.
+func BenchmarkServeSweep(b *testing.B) {
+	p := DefaultParams()
+	cfg := ServeConfig{RequestsPerStep: 25, Steps: 25, Seed: 1}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ServeSweepParallel(p, PaperSweepSizes(), cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordSweepBench(b, "ServeSweep", workers)
+		})
+	}
+}
+
+// BenchmarkEphemerisCache measures building the shared 108-satellite cache
+// for a day of 30-second samples — the cost the sweeps now pay once instead
+// of once per size.
+func BenchmarkEphemerisCache(b *testing.B) {
+	p := DefaultParams()
+	var times []time.Duration
+	for at := time.Duration(0); at < 24*time.Hour; at += 30 * time.Second {
+		times = append(times, at)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEphemerisCache(108, p, times); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

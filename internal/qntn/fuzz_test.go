@@ -2,8 +2,11 @@ package qntn
 
 import (
 	"bytes"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // FuzzLoadParams exercises the JSON parameter loader: it must never panic,
@@ -34,6 +37,132 @@ func FuzzLoadParams(f *testing.F) {
 		}
 		if _, err := LoadParams(&out); err != nil {
 			t.Fatalf("round trip of accepted params failed: %v", err)
+		}
+	})
+}
+
+// approxEq allows the relative rounding the codec's unit conversions
+// (nm↔m, deg↔rad, km↔m, s↔Duration) may introduce — about one ulp per
+// multiply, nowhere near the factor-10³ error of a unit mix-up.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return diff <= 1e-9*scale
+}
+
+// paramsSemanticallyEqual compares every field of two Params: floats within
+// approxEq, durations within 2 ns (the s↔ns conversion error bound for
+// day-scale values), everything discrete exactly.
+func paramsSemanticallyEqual(t *testing.T, a, b Params) {
+	t.Helper()
+	durationType := reflect.TypeOf(time.Duration(0))
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		name := va.Type().Field(i).Name
+		fa, fb := va.Field(i), vb.Field(i)
+		switch {
+		case fa.Kind() == reflect.Float64:
+			if !approxEq(fa.Float(), fb.Float()) {
+				t.Errorf("%s: %v != %v after round trip", name, fa.Float(), fb.Float())
+			}
+		case fa.Type() == durationType:
+			if d := fa.Int() - fb.Int(); d < -2 || d > 2 {
+				t.Errorf("%s: %v != %v after round trip", name, time.Duration(fa.Int()), time.Duration(fb.Int()))
+			}
+		case fa.Kind() == reflect.Ptr: // *atmosphere.HufnagelValley
+			if fa.IsNil() != fb.IsNil() {
+				t.Errorf("%s: nil-ness changed after round trip", name)
+			} else if !fa.IsNil() {
+				for j := 0; j < fa.Elem().NumField(); j++ {
+					if !approxEq(fa.Elem().Field(j).Float(), fb.Elem().Field(j).Float()) {
+						t.Errorf("%s.%s: %v != %v after round trip", name, fa.Elem().Type().Field(j).Name,
+							fa.Elem().Field(j).Float(), fb.Elem().Field(j).Float())
+					}
+				}
+			}
+		default: // bool, int64 seed, FidelityModel enum
+			if fa.Interface() != fb.Interface() {
+				t.Errorf("%s: %v != %v after round trip", name, fa.Interface(), fb.Interface())
+			}
+		}
+	}
+}
+
+// FuzzParamsRoundTrip drives the Params codec with structured inputs: any
+// parameter set that validates must survive save → load with every field
+// semantically intact (unit conversions may cost ulps, never meaning).
+func FuzzParamsRoundTrip(f *testing.F) {
+	f.Add(1550.0, 30.0, 5.0, int64(1), true)
+	f.Add(810.0, 20.0, 120.0, int64(-7), false)
+	f.Add(532.0, 0.5, 0.5, int64(0), true)
+
+	f.Fuzz(func(t *testing.T, wavelengthNM, minElevDeg, stepS float64, seed int64, j2 bool) {
+		// Gate the fuzzed magnitudes to physically meaningful ranges so the
+		// unit conversions stay in exact float territory (a 10^300 step
+		// interval overflows time.Duration before the codec ever sees it).
+		if !(wavelengthNM > 0 && wavelengthNM < 1e5) ||
+			!(minElevDeg >= 0 && minElevDeg < 90) ||
+			!(stepS > 0 && stepS < 1e6) {
+			return
+		}
+		p := DefaultParams()
+		p.WavelengthM = wavelengthNM * 1e-9
+		p.MinElevationRad = minElevDeg / degPerRad
+		p.StepInterval = time.Duration(stepS * float64(time.Second))
+		p.OutageSeed = seed
+		p.UseJ2 = j2
+		if p.Validate() != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveParams(&buf, p); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		p2, err := LoadParams(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load of saved params failed: %v\n%s", err, buf.String())
+		}
+		paramsSemanticallyEqual(t, p, p2)
+	})
+}
+
+// FuzzServeConfigRoundTrip: any workload the ServeConfig codec accepts must
+// survive save → load with the discrete fields exact and the horizon within
+// the s↔ns conversion error.
+func FuzzServeConfigRoundTrip(f *testing.F) {
+	f.Add(100, 100, 86400.0, int64(1))
+	f.Add(1, 1, 0.0, int64(-42))
+	f.Add(7, 3, 1.5, int64(0))
+
+	f.Fuzz(func(t *testing.T, requests, steps int, horizonS float64, seed int64) {
+		if !(horizonS >= 0 && horizonS < 1e7) {
+			return
+		}
+		cfg := ServeConfig{
+			RequestsPerStep: requests,
+			Steps:           steps,
+			Horizon:         time.Duration(horizonS * float64(time.Second)),
+			Seed:            seed,
+		}
+		if cfg.validate() != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveServeConfig(&buf, cfg); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		cfg2, err := LoadServeConfig(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load of saved config failed: %v\n%s", err, buf.String())
+		}
+		if cfg2.RequestsPerStep != cfg.RequestsPerStep || cfg2.Steps != cfg.Steps || cfg2.Seed != cfg.Seed {
+			t.Fatalf("discrete fields changed: %+v -> %+v", cfg, cfg2)
+		}
+		if d := cfg2.Horizon - cfg.Horizon; d < -2 || d > 2 {
+			t.Fatalf("horizon drifted %v -> %v", cfg.Horizon, cfg2.Horizon)
 		}
 	})
 }

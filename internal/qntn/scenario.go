@@ -77,6 +77,9 @@ func NewSpaceGround(nSats int, p Params) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	if propagationHook != nil {
+		propagationHook(len(elems))
+	}
 	sats := make([]netsim.Node, len(elems))
 	for i, e := range elems {
 		e.ApplyJ2 = p.UseJ2
@@ -150,6 +153,13 @@ func assembleWith(arch Architecture, p Params, lans []LocalNetwork, relays []net
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return assembleTrusted(arch, p, lans, relays)
+}
+
+// assembleTrusted assembles a scenario from already-validated parameters —
+// the path EphemerisCache.Scenario takes so a sweep validates once instead
+// of once per size.
+func assembleTrusted(arch Architecture, p Params, lans []LocalNetwork, relays []netsim.Node) (*Scenario, error) {
 	sc := &Scenario{
 		Arch:         arch,
 		Params:       p,

@@ -25,6 +25,39 @@ func DefaultServeConfig() ServeConfig {
 	return ServeConfig{RequestsPerStep: 100, Steps: 100, Horizon: orbit.Day, Seed: 1}
 }
 
+// withDefaults returns the config with the paper's one-day horizon applied
+// when none is set — the normalization RunServe performs, hoisted so sweeps
+// can precompute the sample times it implies.
+func (cfg ServeConfig) withDefaults() ServeConfig {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = orbit.Day
+	}
+	return cfg
+}
+
+// validate checks the workload shape.
+func (cfg ServeConfig) validate() error {
+	if cfg.RequestsPerStep <= 0 || cfg.Steps <= 0 {
+		return fmt.Errorf("qntn: serve config requires positive requests and steps")
+	}
+	return nil
+}
+
+// sampleTimes returns the topology instants RunServe will evaluate under
+// these parameters: Steps instants spread stepGap apart from t = 0.
+func (cfg ServeConfig) sampleTimes(p Params) []time.Duration {
+	cfg = cfg.withDefaults()
+	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
+	if stepGap <= 0 {
+		stepGap = p.StepInterval
+	}
+	times := make([]time.Duration, cfg.Steps)
+	for step := range times {
+		times[step] = time.Duration(step) * stepGap
+	}
+	return times
+}
+
 // ServeResult aggregates one serve experiment.
 type ServeResult struct {
 	Config  ServeConfig
@@ -47,12 +80,10 @@ type ServeResult struct {
 // path exists; its fidelity follows the scenario's FidelityModel applied to
 // the path's per-hop transmissivities.
 func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
-	if cfg.RequestsPerStep <= 0 || cfg.Steps <= 0 {
-		return nil, fmt.Errorf("qntn: serve config requires positive requests and steps")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Horizon <= 0 {
-		cfg.Horizon = orbit.Day
-	}
+	cfg = cfg.withDefaults()
 	res := &ServeResult{Config: cfg}
 	wl := NewWorkload(sc, cfg.Seed)
 

@@ -1,10 +1,13 @@
 package qntn
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"qntn/internal/netsim"
+	"qntn/internal/runner"
+	"qntn/internal/stats"
 )
 
 // CoveragePoint is one mark of the paper's Fig. 6 sweep.
@@ -22,20 +25,37 @@ func PaperSweepSizes() []int {
 	return sizes
 }
 
-// CoverageSweep computes the Fig. 6 curve — full-period coverage percentage
-// as a function of constellation size — for every requested prefix of the
-// Table II catalog.
+// CoverageSweep computes the Fig. 6 curve with the default worker count
+// (one per CPU). See CoverageSweepParallel.
+func CoverageSweep(p Params, sizes []int, duration time.Duration) ([]CoveragePoint, error) {
+	return CoverageSweepParallel(p, sizes, duration, 0)
+}
+
+// coverageChunkSteps is the number of topology steps one worker task
+// evaluates. The partition is fixed (independent of the worker count), so
+// the chunk merge — and therefore the result — is bit-identical for any
+// parallelism.
+const coverageChunkSteps = 32
+
+// CoverageSweepParallel computes the Fig. 6 curve — full-period coverage
+// percentage as a function of constellation size — for every requested
+// prefix of the Table II catalog, fanning the time axis out over a bounded
+// worker pool (workers <= 0 selects one per CPU).
 //
 // Because the paper's constellations are nested prefixes of Table II, the
-// sweep propagates the full 108-satellite scenario once, caches which
+// sweep propagates the full catalog once (EphemerisCache), caches which
 // satellites cover which LAN (and which satellite pairs hold a usable ISL)
-// at every step, and then answers each size with a union-find over the
-// cached booleans. This is exactly equivalent to running
-// Scenario.Coverage per size, at a small fraction of the cost; the
-// equivalence is asserted in the test suite.
-func CoverageSweep(p Params, sizes []int, duration time.Duration) ([]CoveragePoint, error) {
+// at every step, and answers each size with a union-find over the cached
+// booleans. Steps are independent, so they are evaluated in fixed
+// contiguous chunks by the worker pool and the per-chunk partial results
+// are merged in time order — exactly equivalent to running
+// Scenario.Coverage per size sequentially, which the test suite asserts.
+func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, workers int) ([]CoveragePoint, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("qntn: empty size list")
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("qntn: non-positive duration %v", duration)
 	}
 	maxN := 0
 	for _, n := range sizes {
@@ -43,14 +63,19 @@ func CoverageSweep(p Params, sizes []int, duration time.Duration) ([]CoveragePoi
 			maxN = n
 		}
 	}
-	sc, err := NewSpaceGround(maxN, p)
+	step := p.StepInterval
+	var times []time.Duration
+	for at := time.Duration(0); at+step <= duration; at += step {
+		times = append(times, at)
+	}
+	cache, err := NewEphemerisCache(maxN, p, times)
 	if err != nil {
 		return nil, err
 	}
-	if duration <= 0 {
-		return nil, fmt.Errorf("qntn: non-positive duration %v", duration)
+	sc, err := cache.Scenario(maxN)
+	if err != nil {
+		return nil, err
 	}
-	step := p.StepInterval
 	nLAN := len(sc.LANs)
 
 	// Representative hosts per LAN for the early-exit coverage check.
@@ -62,60 +87,73 @@ func CoverageSweep(p Params, sizes []int, duration time.Duration) ([]CoveragePoi
 	}
 	sats := sc.relays
 
-	results := make([]CoverageResult, len(sizes))
-	for i := range results {
-		results[i].Total = duration
-	}
+	numChunks := (len(times) + coverageChunkSteps - 1) / coverageChunkSteps
+	partials := make([][]CoverageResult, numChunks)
+	err = runner.Map(context.Background(), numChunks, workers, func(_ context.Context, ci int) error {
+		lo := ci * coverageChunkSteps
+		hi := lo + coverageChunkSteps
+		if hi > len(times) {
+			hi = len(times)
+		}
+		res := make([]CoverageResult, len(sizes))
+		coversLAN := make([]bool, maxN*nLAN)
+		islNbr := make([][]int, maxN)
+		uf := newUnionFind(nLAN + maxN)
 
-	coversLAN := make([]bool, maxN*nLAN)
-	islNbr := make([][]int, maxN)
-	uf := newUnionFind(nLAN + maxN)
-
-	for at := time.Duration(0); at+step <= duration; at += step {
-		// Phase 1: evaluate physics once for the largest constellation.
-		for si, sat := range sats {
-			islNbr[si] = islNbr[si][:0]
-			for li := range lanHosts {
-				covered := false
-				for _, h := range lanHosts[li] {
-					if _, ok := sc.evaluateLink(h, sat, at); ok {
-						covered = true
-						break
+		for _, at := range times[lo:hi] {
+			// Phase 1: evaluate physics once for the largest constellation.
+			for si, sat := range sats {
+				islNbr[si] = islNbr[si][:0]
+				for li := range lanHosts {
+					covered := false
+					for _, h := range lanHosts[li] {
+						if _, ok := sc.evaluateLink(h, sat, at); ok {
+							covered = true
+							break
+						}
+					}
+					coversLAN[si*nLAN+li] = covered
+				}
+			}
+			for i := 0; i < len(sats); i++ {
+				for j := i + 1; j < len(sats); j++ {
+					if _, ok := sc.evaluateLink(sats[i], sats[j], at); ok {
+						islNbr[i] = append(islNbr[i], j)
 					}
 				}
-				coversLAN[si*nLAN+li] = covered
+			}
+
+			// Phase 2: answer each size from the cache.
+			for ri, n := range sizes {
+				accumulate(&res[ri], at, step, bridgedPrefix(uf, coversLAN, islNbr, nLAN, n))
 			}
 		}
-		for i := 0; i < len(sats); i++ {
-			for j := i + 1; j < len(sats); j++ {
-				if _, ok := sc.evaluateLink(sats[i], sats[j], at); ok {
-					islNbr[i] = append(islNbr[i], j)
+		partials[ci] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge chunks in time order; joining intervals that touch across a
+	// chunk boundary reproduces the sequential accumulation exactly.
+	points := make([]CoveragePoint, len(sizes))
+	for ri, n := range sizes {
+		merged := CoverageResult{Total: duration}
+		for _, part := range partials {
+			r := part[ri]
+			merged.Steps += r.Steps
+			merged.CoveredSteps += r.CoveredSteps
+			merged.Covered += r.Covered
+			for _, iv := range r.Intervals {
+				if k := len(merged.Intervals); k > 0 && merged.Intervals[k-1].End == iv.Start {
+					merged.Intervals[k-1].End = iv.End
+				} else {
+					merged.Intervals = append(merged.Intervals, iv)
 				}
 			}
 		}
-
-		// Phase 2: answer each size from the cache.
-		for ri, n := range sizes {
-			res := &results[ri]
-			res.Steps++
-			if !bridgedPrefix(uf, coversLAN, islNbr, nLAN, n) {
-				continue
-			}
-			res.CoveredSteps++
-			res.Covered += step
-			start := at
-			end := at + step
-			if k := len(res.Intervals); k > 0 && res.Intervals[k-1].End == start {
-				res.Intervals[k-1].End = end
-			} else {
-				res.Intervals = append(res.Intervals, Interval{Start: start, End: end})
-			}
-		}
-	}
-
-	points := make([]CoveragePoint, len(sizes))
-	for i, n := range sizes {
-		points[i] = CoveragePoint{Satellites: n, Result: results[i]}
+		points[ri] = CoveragePoint{Satellites: n, Result: merged}
 	}
 	return points, nil
 }
@@ -160,22 +198,131 @@ type ServePoint struct {
 	Result     ServeResult
 }
 
-// ServeSweep runs the serve experiment (Fig. 7: served percentage; Fig. 8:
-// average fidelity) for each constellation size. Sizes are evaluated
-// independently with identical workload seeds so the request sequences
-// match across sizes.
+// ServeSweep runs the serve sweep with the default worker count (one per
+// CPU). See ServeSweepParallel.
 func ServeSweep(p Params, sizes []int, cfg ServeConfig) ([]ServePoint, error) {
-	points := make([]ServePoint, 0, len(sizes))
+	return ServeSweepParallel(p, sizes, cfg, 0)
+}
+
+// ServeSweepParallel runs the serve experiment (Fig. 7: served percentage;
+// Fig. 8: average fidelity) for each constellation size, fanning sizes out
+// over a bounded worker pool (workers <= 0 selects one per CPU). Sizes are
+// evaluated independently with identical workload seeds so the request
+// sequences match across sizes — which is also what makes the fan-out
+// trivially deterministic: every size owns its output slot and its own
+// Workload generator, and all sizes share one immutable propagated
+// ephemeris instead of re-propagating the constellation per point.
+func ServeSweepParallel(p Params, sizes []int, cfg ServeConfig, workers int) ([]ServePoint, error) {
+	if len(sizes) == 0 {
+		return nil, nil
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	maxN := 0
 	for _, n := range sizes {
-		sc, err := NewSpaceGround(n, p)
+		if n > maxN {
+			maxN = n
+		}
+	}
+	cache, err := NewEphemerisCache(maxN, p, cfg.sampleTimes(p))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ServePoint, len(sizes))
+	err = runner.Map(context.Background(), len(sizes), workers, func(_ context.Context, i int) error {
+		sc, err := cache.Scenario(sizes[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sc.RunServe(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("qntn: serve sweep at %d satellites: %w", n, err)
+			return fmt.Errorf("qntn: serve sweep at %d satellites: %w", sizes[i], err)
 		}
-		points = append(points, ServePoint{Satellites: n, Result: *res})
+		points[i] = ServePoint{Satellites: sizes[i], Result: *res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
+}
+
+// ServeStats aggregates one sweep size over independent workload replicas.
+type ServeStats struct {
+	Satellites int
+	Replicas   int
+	// ServedPercent and MeanFidelity summarize the per-replica headline
+	// metrics.
+	ServedPercent stats.Summary
+	MeanFidelity  stats.Summary
+}
+
+// ServeSweepReplicated runs the serve sweep over independent workload
+// replicas and reports per-size distributions — the error bars the paper's
+// single-seed Figs. 7-8 lack. Replica r uses the seed derived by
+// runner.TaskSeed(cfg.Seed, r), except replica 0, which keeps cfg.Seed so a
+// single-replica run reproduces ServeSweep exactly. Within one replica
+// every size shares the replica's seed (the paper's matched-workload
+// convention); across replicas the splitmix64 derivation guarantees
+// distinct, uncorrelated streams without any shared RNG state between
+// workers. The (size, replica) grid is fanned out over the worker pool.
+func ServeSweepReplicated(p Params, sizes []int, cfg ServeConfig, replicas, workers int) ([]ServeStats, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("qntn: need at least one replica, got %d", replicas)
+	}
+	if len(sizes) == 0 {
+		return nil, nil
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	cache, err := NewEphemerisCache(maxN, p, cfg.sampleTimes(p))
+	if err != nil {
+		return nil, err
+	}
+	served := make([][]float64, len(sizes))
+	fidelity := make([][]float64, len(sizes))
+	for i := range sizes {
+		served[i] = make([]float64, replicas)
+		fidelity[i] = make([]float64, replicas)
+	}
+	err = runner.Grid(context.Background(), len(sizes), replicas, workers, func(_ context.Context, si, r int) error {
+		rcfg := cfg
+		if r > 0 {
+			rcfg.Seed = runner.TaskSeed(cfg.Seed, uint64(r))
+		}
+		sc, err := cache.Scenario(sizes[si])
+		if err != nil {
+			return err
+		}
+		res, err := sc.RunServe(rcfg)
+		if err != nil {
+			return fmt.Errorf("qntn: replicated sweep at %d satellites, replica %d: %w", sizes[si], r, err)
+		}
+		served[si][r] = res.ServedPercent
+		fidelity[si][r] = res.MeanFidelity
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServeStats, len(sizes))
+	for i, n := range sizes {
+		out[i] = ServeStats{
+			Satellites:    n,
+			Replicas:      replicas,
+			ServedPercent: stats.Summarize(served[i]),
+			MeanFidelity:  stats.Summarize(fidelity[i]),
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzTaskSeedInjective checks the collision-freedom invariant over
+// arbitrary (base, i, j) triples: distinct task indices must always derive
+// distinct seeds from the same base. This holds by construction (odd-gamma
+// jump + bijective finalizer); the fuzzer guards the construction.
+func FuzzTaskSeedInjective(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint64(1))
+	f.Add(int64(0), uint64(0), uint64(1<<63))
+	f.Add(int64(-1), uint64(17), uint64(18))
+	f.Add(int64(123456789), uint64(999999), uint64(1000000))
+	f.Fuzz(func(t *testing.T, base int64, i, j uint64) {
+		si, sj := TaskSeed(base, i), TaskSeed(base, j)
+		if i == j {
+			if si != sj {
+				t.Fatalf("TaskSeed not deterministic: (%d,%d) gave %d and %d", base, i, si, sj)
+			}
+			return
+		}
+		if si == sj {
+			t.Fatalf("collision: TaskSeed(%d,%d) == TaskSeed(%d,%d) == %d", base, i, base, j, si)
+		}
+	})
+}
+
+// mapSeeds fills one slot per task with its derived seed using the given
+// worker count.
+func mapSeeds(t *testing.T, base int64, n, workers int) []int64 {
+	t.Helper()
+	out := make([]int64, n)
+	if err := Map(context.Background(), n, workers, func(_ context.Context, i int) error {
+		out[i] = TaskSeed(base, uint64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// FuzzMapSlotDeterminism runs the same task set at several worker counts
+// and demands identical output slots — the runner's core contract.
+func FuzzMapSlotDeterminism(f *testing.F) {
+	f.Add(int64(1), uint8(5))
+	f.Add(int64(-3), uint8(33))
+	f.Fuzz(func(t *testing.T, base int64, nn uint8) {
+		n := int(nn%64) + 1
+		ref := mapSeeds(t, base, n, 1)
+		for _, w := range []int{2, 4} {
+			got := mapSeeds(t, base, n, w)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d diverged at slot %d", w, i)
+				}
+			}
+		}
+	})
+}

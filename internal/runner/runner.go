@@ -1,0 +1,118 @@
+// Package runner is the parallel experiment engine: every figure and table
+// of the paper is an embarrassingly parallel sweep (constellation-size
+// prefixes, ablation grids, per-architecture rows), and runner fans those
+// independent points out over a bounded worker pool while keeping results
+// bit-identical to a sequential run.
+//
+// Determinism contract: tasks receive only their index and must write their
+// output into a slot owned by that index; scheduling order is never
+// observable. Tasks that need randomness derive a private seed with
+// TaskSeed (splitmix64 over the scenario seed and task index) and build
+// their own rand.New(rand.NewSource(seed)) — worker goroutines never share
+// a *rand.Rand. Under that contract the output of Map and Grid is
+// independent of the worker count.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelism is the worker count used when a caller passes
+// workers <= 0: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and waits for completion. Tasks are handed out dynamically (an atomic
+// cursor, so skewed task costs still balance), panics inside fn are
+// captured and returned as errors, and the first failure cancels the
+// context passed to the remaining tasks — tasks not yet started are
+// skipped. When several tasks fail, the error of the lowest task index is
+// returned, so the reported failure does not depend on scheduling.
+//
+// workers <= 0 selects DefaultParallelism. A nil fn is rejected; n <= 0 is
+// a no-op.
+func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, task int) error) error {
+	if fn == nil {
+		return fmt.Errorf("runner: nil task function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return // first failure (or caller cancel) skips the rest
+				}
+				if err := runTask(ctx, i, fn); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// No task failed; surface a caller-side cancellation if there was one
+	// (our own cancel only fires after recording a task error above).
+	return ctx.Err()
+}
+
+// runTask invokes one task with panic capture, so a panicking sweep point
+// aborts the sweep with a diagnosable error instead of crashing the
+// process from a worker goroutine.
+func runTask(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Grid runs fn(ctx, r, c) for every cell of the rows x cols index grid,
+// with the same pooling, panic-capture, and cancellation semantics as Map.
+// Cell (r, c) is task index r*cols + c, which is also the index to feed
+// TaskSeed when a cell needs its own RNG stream.
+func Grid(ctx context.Context, rows, cols, workers int, fn func(ctx context.Context, row, col int) error) error {
+	if fn == nil {
+		return fmt.Errorf("runner: nil task function")
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil
+	}
+	return Map(ctx, rows*cols, workers, func(ctx context.Context, i int) error {
+		return fn(ctx, i/cols, i%cols)
+	})
+}

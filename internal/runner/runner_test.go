@@ -1,0 +1,212 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryTask(t *testing.T) {
+	const n = 100
+	var done [n]atomic.Bool
+	err := Map(context.Background(), n, 7, func(_ context.Context, i int) error {
+		if done[i].Swap(true) {
+			t.Errorf("task %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := Map(context.Background(), 40, workers, func(context.Context, int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, worker bound is %d", p, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// With one worker, tasks run in index order: task 2 fails first and
+	// everything after it is skipped.
+	ran := 0
+	err := Map(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran++
+		if i >= 2 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 2" {
+		t.Fatalf("error %v, want boom at 2", err)
+	}
+	if ran != 3 {
+		t.Fatalf("%d tasks ran after first failure, want 3", ran)
+	}
+}
+
+func TestMapErrorWithManyWorkers(t *testing.T) {
+	sentinel := errors.New("sweep point failed")
+	err := Map(context.Background(), 64, 8, func(_ context.Context, i int) error {
+		if i%5 == 0 {
+			return fmt.Errorf("task %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the task failure", err)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	err := Map(context.Background(), 4, 2, func(_ context.Context, i int) error {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	if !strings.Contains(err.Error(), "task 1 panicked: kaboom") {
+		t.Fatalf("panic error %q lacks task attribution", err)
+	}
+	if !strings.Contains(err.Error(), "runner_test.go") {
+		t.Fatalf("panic error lacks a stack trace:\n%v", err)
+	}
+}
+
+func TestMapCancellationSkipsPendingTasks(t *testing.T) {
+	var ran atomic.Int64
+	err := Map(context.Background(), 100, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i < 4 {
+			return fmt.Errorf("early failure %d", i)
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("failure not reported")
+	}
+	if got := ran.Load(); got > 20 {
+		t.Fatalf("%d tasks ran after cancellation; pool did not stop", got)
+	}
+}
+
+func TestMapHonorsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Map(ctx, 10, 2, func(context.Context, int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("tasks ran under a cancelled parent context")
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if err := Map(context.Background(), 0, 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("empty map: %v", err)
+	}
+	if err := Map(context.Background(), 4, 4, nil); err == nil {
+		t.Fatal("nil task function accepted")
+	}
+	// workers <= 0 falls back to DefaultParallelism and still completes.
+	var n atomic.Int64
+	if err := Map(context.Background(), 9, 0, func(context.Context, int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 9 {
+		t.Fatalf("%d tasks ran with default workers", n.Load())
+	}
+	if DefaultParallelism() < 1 {
+		t.Fatal("DefaultParallelism below 1")
+	}
+}
+
+func TestGridCoversEveryCell(t *testing.T) {
+	const rows, cols = 7, 5
+	var mu sync.Mutex
+	seen := make(map[[2]int]int)
+	err := Grid(context.Background(), rows, cols, 4, func(_ context.Context, r, c int) error {
+		mu.Lock()
+		seen[[2]int{r, c}]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rows*cols {
+		t.Fatalf("%d distinct cells, want %d", len(seen), rows*cols)
+	}
+	for cell, count := range seen {
+		if count != 1 {
+			t.Fatalf("cell %v ran %d times", cell, count)
+		}
+	}
+	if err := Grid(context.Background(), 0, 5, 1, func(context.Context, int, int) error { return nil }); err != nil {
+		t.Fatalf("empty grid: %v", err)
+	}
+	if err := Grid(context.Background(), 2, 2, 1, nil); err == nil {
+		t.Fatal("nil grid function accepted")
+	}
+}
+
+func TestMapResultsIndependentOfWorkerCount(t *testing.T) {
+	// The determinism contract: index-owned output slots make results
+	// identical for any worker count.
+	run := func(workers int) []int64 {
+		out := make([]int64, 64)
+		err := Map(context.Background(), len(out), workers, func(_ context.Context, i int) error {
+			out[i] = TaskSeed(42, uint64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d diverged at slot %d", w, i)
+			}
+		}
+	}
+}
