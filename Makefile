@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet bench clean
+.PHONY: all build test race lint vet bench benchdiff profile clean
 
 all: build test lint
 
@@ -25,11 +25,29 @@ lint:
 vet:
 	$(GO) vet ./...
 
-# bench runs the sweep benchmarks once per worker count and writes the
-# machine-readable report (timings + parallel speedups) to BENCH_sweep.json.
+# bench runs the sweep benchmarks once per worker count plus the hot-path
+# benchmarks (topology snapshot, routing, coverage) and writes the
+# machine-readable report — timings, allocs/op, parallel speedups — to
+# BENCH_sweep.json.
 bench:
-	$(GO) test -bench=Sweep -benchtime=1x -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
 	@cat BENCH_sweep.json
+
+# benchdiff compares a fresh bench run against the committed baseline
+# (report-only; never fails).
+benchdiff:
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_new.json
+	$(GO) run ./cmd/benchdiff BENCH_sweep.json BENCH_new.json
+
+# profile runs a quick full-figure workload under the CPU and heap
+# profilers and prints the top CPU consumers. Explore interactively with:
+#   go tool pprof profiles/qntnsim profiles/cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) build -o profiles/qntnsim ./cmd/qntnsim
+	./profiles/qntnsim -quick -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof fig6 > /dev/null
+	$(GO) tool pprof -top -nodecount 15 profiles/qntnsim profiles/cpu.pprof
 
 clean:
 	$(GO) clean ./...
+	rm -rf profiles BENCH_new.json

@@ -1,0 +1,145 @@
+// Command benchdiff compares two benchmark JSON reports produced by the
+// -benchjson emitter (see internal/qntn/bench_sweep_test.go) and prints a
+// per-benchmark before/after table of ns/op and allocs/op.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// The comparison is report-only: benchmark timings from CI runners are too
+// noisy to gate on, so the command always exits 0 when both files parse.
+// Benchmarks present in only one file are listed with "n/a" on the missing
+// side.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchdiff OLD.json NEW.json")
+	}
+	oldRep, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("note: host shape differs (old %d CPUs / GOMAXPROCS %d, new %d / %d); timings are not directly comparable\n",
+			oldRep.NumCPU, oldRep.GOMAXPROCS, newRep.NumCPU, newRep.GOMAXPROCS)
+	}
+
+	type key struct {
+		name    string
+		workers int
+	}
+	oldBy := make(map[key]benchRecord)
+	for _, r := range oldRep.Benchmarks {
+		oldBy[key{r.Name, r.Workers}] = r
+	}
+	newBy := make(map[key]benchRecord)
+	for _, r := range newRep.Benchmarks {
+		newBy[key{r.Name, r.Workers}] = r
+	}
+	keys := make([]key, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].workers < keys[j].workers
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tworkers\tns/op old\tns/op new\tdelta\tallocs old\tallocs new")
+	for _, k := range keys {
+		o, haveOld := oldBy[k]
+		n, haveNew := newBy[k]
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			k.name, k.workers,
+			fmtNs(o.NsPerOp, haveOld), fmtNs(n.NsPerOp, haveNew),
+			fmtDelta(o.NsPerOp, n.NsPerOp, haveOld && haveNew),
+			fmtCount(o.AllocsPerOp, haveOld), fmtCount(n.AllocsPerOp, haveNew))
+	}
+	return tw.Flush()
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func fmtNs(ns float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtCount(v float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// fmtDelta renders the new/old timing ratio as a signed percentage
+// (negative = faster).
+func fmtDelta(oldNs, newNs float64, ok bool) string {
+	if !ok || oldNs <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newNs-oldNs)/oldNs)
+}

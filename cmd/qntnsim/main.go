@@ -19,15 +19,19 @@
 // Global flags (before the subcommand): -seed, -steps, -requests,
 // -duration, -quick, -csvdir <dir>, -params <file>, -parallel <N>
 // (sweep worker pool size; 0 means one worker per CPU — every sweep
-// produces identical output regardless of the value).
+// produces identical output regardless of the value), and the profiling
+// pair -cpuprofile <file> / -memprofile <file> (see `make profile`).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -53,6 +57,8 @@ type options struct {
 	csvDir     string
 	paramsPath string
 	parallel   int
+	cpuProfile string
+	memProfile string
 }
 
 // writeCSV writes one experiment's CSV file into the -csvdir directory (a
@@ -76,7 +82,7 @@ func (o options) writeCSV(name string, fn func(io.Writer) error) error {
 	return cerr
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("qntnsim", flag.ContinueOnError)
 	fs.SetOutput(w)
 	opt := options{}
@@ -88,6 +94,8 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.csvDir, "csvdir", "", "also write machine-readable CSVs into this directory")
 	fs.StringVar(&opt.paramsPath, "params", "", "load simulation parameters from a JSON file (see the `params` subcommand)")
 	fs.IntVar(&opt.parallel, "parallel", 0, "sweep worker pool size (0 = one worker per CPU); results are identical at any value")
+	fs.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile to this file when the run finishes")
 	fs.Usage = func() {
 		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|multipath|throughput|arrivals|params|all")
 		fs.PrintDefaults()
@@ -105,6 +113,39 @@ func run(args []string, w io.Writer) error {
 		if opt.duration > 2*time.Hour {
 			opt.duration = 2 * time.Hour
 		}
+	}
+	if opt.cpuProfile != "" {
+		f, ferr := os.Create(opt.cpuProfile)
+		if ferr != nil {
+			return ferr
+		}
+		// runtime/pprof's profile writer discards errors from the
+		// underlying io.Writer, so capture them ourselves: a truncated
+		// profile must fail the run, not parse as a mystery later.
+		ew := &errorCapturingWriter{w: f}
+		if perr := pprof.StartCPUProfile(ew); perr != nil {
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("%w (and closing profile: %v)", perr, cerr)
+			}
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cerr := f.Close()
+			if err == nil {
+				err = ew.err
+			}
+			if err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if opt.memProfile != "" {
+		defer func() {
+			if err == nil {
+				err = writeHeapProfile(opt.memProfile)
+			}
+		}()
 	}
 
 	cmd := fs.Arg(0)
@@ -189,6 +230,44 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// errorCapturingWriter remembers the first write error, because
+// runtime/pprof's internal profile builder drops errors from the writer it
+// is handed.
+type errorCapturingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errorCapturingWriter) Write(p []byte) (int, error) {
+	n, err := ew.w.Write(p)
+	if err != nil && ew.err == nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// writeHeapProfile snapshots the heap into path after a final GC, so the
+// profile reflects live objects rather than garbage awaiting collection.
+// The profile is serialized to memory first: pprof swallows writer errors,
+// and the file write below is where failure is actually observable.
+func writeHeapProfile(path string) error {
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(buf.Bytes())
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func runFig5(w io.Writer, opt options) error {

@@ -75,6 +75,44 @@ func OptimalWaist(wavelengthM, designRangeM float64) float64 {
 	return math.Sqrt(wavelengthM * designRangeM / math.Pi)
 }
 
+// MaxUsableRangeM2 returns a squared slant range R² such that any geometry
+// with RangeM² > R² is guaranteed to evaluate below the given
+// transmissivity threshold. It inverts the diffraction factor alone:
+//
+//	Total = Diffraction · Atmospheric · Receiver ≤ Diffraction
+//	Diffraction = 1 − exp(−2a²/weff²),  weff² ≥ wd² = w0²(1 + (L/zR)²)
+//
+// so Diffraction ≥ threshold requires weff² ≤ wmax² = 2a²/(−ln(1−threshold))
+// and therefore L² ≤ zR²(wmax²/w0² − 1). Turbulence and pointing jitter only
+// add to weff², and Atmospheric and Receiver are ≤ 1, so the bound holds for
+// every configuration. The returned value carries a small relative margin so
+// that callers comparing an independently computed squared distance never
+// reject a geometry the full evaluation would accept; it is a prefilter, not
+// a decision — geometries within the bound must still be evaluated.
+// Thresholds ≤ 0 (nothing can be rejected on range) return +Inf.
+func (c FSOConfig) MaxUsableRangeM2(threshold float64) float64 {
+	if math.IsNaN(threshold) || threshold <= 0 {
+		return math.Inf(1)
+	}
+	w0 := c.waist()
+	a := c.RxApertureRadiusM
+	if w0 <= 0 || a <= 0 || c.WavelengthM <= 0 {
+		return math.Inf(1)
+	}
+	var wmax2 float64
+	if threshold < 1 {
+		wmax2 = 2 * a * a / (-math.Log(1-threshold))
+	}
+	r := wmax2/(w0*w0) - 1
+	if r <= 0 {
+		// Even at L = 0⁺ the beam is too wide (or threshold ≥ 1): only the
+		// degenerate zero-range geometry can pass.
+		return 0
+	}
+	zR := math.Pi * w0 * w0 / c.WavelengthM
+	return zR * zR * r * (1 + 1e-9)
+}
+
 // FSOGeometry describes one link instance: slant range, elevation at the
 // lower terminal, and the terminal altitudes (used to decide how much
 // atmosphere the path crosses).

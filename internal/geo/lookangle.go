@@ -23,15 +23,34 @@ func ENU(p LLA) (east, north, up Vec3) {
 	return east, north, up
 }
 
-// Look computes the look angle from an observer at geodetic position obs to
-// a target at ECEF position target.
-func Look(obs LLA, target Vec3) LookAngle {
-	o := obs.ECEF()
-	d := target.Sub(o)
+// Frame is the precomputed observation frame of a fixed observer: its ECEF
+// position and local ENU basis. Callers that evaluate many look angles from
+// the same observer (one ground station against a whole constellation, or
+// one satellite position against every peer at a topology instant) build
+// the frame once and amortize the trigonometry that Look would otherwise
+// redo per target. Frame.Look performs exactly the floating-point
+// operations of the package-level Look, in the same order, so results are
+// bit-identical.
+type Frame struct {
+	ECEF  Vec3
+	East  Vec3
+	North Vec3
+	Up    Vec3
+}
+
+// NewFrame precomputes the observation frame at geodetic position obs.
+func NewFrame(obs LLA) Frame {
 	east, north, up := ENU(obs)
-	e := d.Dot(east)
-	n := d.Dot(north)
-	u := d.Dot(up)
+	return Frame{ECEF: obs.ECEF(), East: east, North: north, Up: up}
+}
+
+// Look computes the look angle from the frame's observer to a target at
+// ECEF position target.
+func (f Frame) Look(target Vec3) LookAngle {
+	d := target.Sub(f.ECEF)
+	e := d.Dot(f.East)
+	n := d.Dot(f.North)
+	u := d.Dot(f.Up)
 	rng := d.Norm()
 	la := LookAngle{SlantRangeM: rng}
 	if rng == 0 {
@@ -43,6 +62,20 @@ func Look(obs LLA, target Vec3) LookAngle {
 		la.AzimuthRad += 2 * math.Pi
 	}
 	return la
+}
+
+// AboveHorizon reports whether the target sits at or above the observer's
+// local horizon (elevation >= 0), using only a subtraction and a dot
+// product. It is the cheap prefilter for Look: a target below the horizon
+// can never meet a non-negative elevation mask.
+func (f Frame) AboveHorizon(target Vec3) bool {
+	return target.Sub(f.ECEF).Dot(f.Up) >= 0
+}
+
+// Look computes the look angle from an observer at geodetic position obs to
+// a target at ECEF position target.
+func Look(obs LLA, target Vec3) LookAngle {
+	return NewFrame(obs).Look(target)
 }
 
 // ElevationBetween computes the elevation of the line-of-sight between two

@@ -7,6 +7,7 @@ import (
 
 	"qntn/internal/geo"
 	"qntn/internal/orbit"
+	"qntn/internal/routing"
 )
 
 func TestSimulatorOrdersEvents(t *testing.T) {
@@ -261,5 +262,59 @@ func TestMetrics(t *testing.T) {
 	}
 	if got := m.MeanServedFidelity(); math.Abs(got-0.925) > 1e-12 {
 		t.Fatalf("mean fidelity %g", got)
+	}
+}
+
+func TestSnapshotIntoReuseAndNodeSetChange(t *testing.T) {
+	// Time-varying model: the A-B edge exists only at t=0, so a reused
+	// graph must drop it at the next step.
+	model := LinkModelFunc(func(a, b Node, at time.Duration) (float64, bool) {
+		if at == 0 && a.ID() != "C" && b.ID() != "C" {
+			return 0.5, true
+		}
+		return 0, false
+	})
+	n := NewNetwork(model)
+	for _, nd := range []Node{
+		NewGroundHost("A", "X", geo.LLA{LatDeg: 36, LonDeg: -85}),
+		NewGroundHost("B", "X", geo.LLA{LatDeg: 36.1, LonDeg: -85}),
+	} {
+		if err := n.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := routing.NewGraph()
+	if err := n.SnapshotInto(g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if eta, ok := g.Eta("A", "B"); !ok || eta != 0.5 {
+		t.Fatalf("A-B edge = %v,%v, want 0.5,true", eta, ok)
+	}
+	if err := n.SnapshotInto(g, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Eta("A", "B"); ok {
+		t.Fatal("stale A-B edge survived SnapshotInto reuse")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+
+	// Growing the network invalidates the reused graph's node set; the
+	// next SnapshotInto must rebuild it.
+	if err := n.Add(NewGroundHost("C", "Y", geo.LLA{LatDeg: 40, LonDeg: -100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SnapshotInto(g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d after node-set change, want 3", g.NumNodes())
+	}
+	if eta, ok := g.Eta("A", "B"); !ok || eta != 0.5 {
+		t.Fatalf("A-B edge after rebuild = %v,%v, want 0.5,true", eta, ok)
+	}
+	if _, ok := g.Eta("A", "C"); ok {
+		t.Fatal("model excludes C but edge exists")
 	}
 }

@@ -25,6 +25,29 @@ func (f LinkModelFunc) Evaluate(a, b Node, t time.Duration) (float64, bool) {
 	return f(a, b, t)
 }
 
+// StepEvaluator evaluates the node pairs of one topology instant by dense
+// node index (the index into the node slice passed to BeginStep). It lets a
+// model hoist per-node work — orbit propagation, geodetic conversion,
+// darkness — out of the O(N²) pair loop.
+type StepEvaluator interface {
+	// EvaluatePair returns the transmissivity and usability of the link
+	// between nodes i and j, exactly as LinkModel.Evaluate would for the
+	// same pair and instant.
+	EvaluatePair(i, j int) (eta float64, ok bool)
+	// Close releases the evaluator's per-step resources (e.g. returns it
+	// to a pool). The evaluator must not be used after Close.
+	Close()
+}
+
+// StepModel is an optional LinkModel extension for models that can batch
+// per-node work across one topology instant. Snapshot uses it when
+// available; the per-pair Evaluate remains the reference semantics, and a
+// StepModel's evaluator must reproduce them exactly.
+type StepModel interface {
+	LinkModel
+	BeginStep(nodes []Node, t time.Duration) StepEvaluator
+}
+
 // Network is the node container: an ordered set of hosts plus the link
 // model that induces the time-varying topology.
 type Network struct {
@@ -81,19 +104,66 @@ func (n *Network) ByKind(k NodeKind) []Node {
 // "unreachable".
 func (n *Network) Snapshot(t time.Duration) (*routing.Graph, error) {
 	g := routing.NewGraph()
-	for _, node := range n.nodes {
-		g.AddNode(node.ID())
+	if err := n.SnapshotInto(g, t); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SnapshotInto evaluates every node pair at time t and stores the
+// transmissivity graph of usable links in g, replacing g's previous
+// contents. When g already holds exactly the network's node set (the
+// steady state of a caller reusing one graph across topology steps), only
+// the edges are reset and the snapshot allocates nothing. The result is
+// identical to Snapshot's.
+func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
+	if !n.graphMatches(g) {
+		g.Reset()
+		for _, node := range n.nodes {
+			g.AddNode(node.ID())
+		}
+	}
+	g.ResetEdges()
+	if sm, ok := n.model.(StepModel); ok {
+		ev := sm.BeginStep(n.nodes, t)
+		for i := 0; i < len(n.nodes); i++ {
+			for j := i + 1; j < len(n.nodes); j++ {
+				if eta, ok := ev.EvaluatePair(i, j); ok {
+					if err := g.AddEdgeByIndex(i, j, eta); err != nil {
+						ev.Close()
+						return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
+					}
+				}
+			}
+		}
+		ev.Close()
+		return nil
 	}
 	for i := 0; i < len(n.nodes); i++ {
 		for j := i + 1; j < len(n.nodes); j++ {
 			if eta, ok := n.model.Evaluate(n.nodes[i], n.nodes[j], t); ok {
-				if err := g.AddEdge(n.nodes[i].ID(), n.nodes[j].ID(), eta); err != nil {
-					return nil, fmt.Errorf("netsim: snapshot at %v: %w", t, err)
+				if err := g.AddEdgeByIndex(i, j, eta); err != nil {
+					return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
 				}
 			}
 		}
 	}
-	return g, nil
+	return nil
+}
+
+// graphMatches reports whether g's node list is exactly the network's node
+// IDs in insertion order, so dense indices agree and edges can be added by
+// index.
+func (n *Network) graphMatches(g *routing.Graph) bool {
+	if g.NumNodes() != len(n.nodes) {
+		return false
+	}
+	for i, node := range n.nodes {
+		if idx, ok := g.IndexOf(node.ID()); !ok || idx != i {
+			return false
+		}
+	}
+	return true
 }
 
 // Request is an entanglement distribution request between two hosts.

@@ -30,6 +30,10 @@ type sweepBenchRecord struct {
 	// Iterations and NsPerOp mirror the standard benchmark output.
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp mirror -benchmem, measured as monotonic
+	// runtime.MemStats deltas (Mallocs, TotalAlloc) around the b.N loop.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	// SpeedupVs1 is NsPerOp(workers=1) / NsPerOp, filled in at flush time
 	// when the single-worker baseline was benchmarked in the same run.
 	SpeedupVs1 float64 `json:"speedup_vs_1,omitempty"`
@@ -40,19 +44,58 @@ var sweepBench struct {
 	records []sweepBenchRecord
 }
 
-// recordSweepBench captures a finished benchmark's timing for the JSON
-// emitter. Call it after the b.N loop.
-func recordSweepBench(b *testing.B, family string, workers int) {
+// allocMeter measures allocation totals across a benchmark loop via
+// monotonic runtime.MemStats counters. testing.B does not expose its
+// -benchmem accounting programmatically, so the emitter meters itself; the
+// numbers track the standard output closely for loops long enough to
+// amortize the two ReadMemStats calls.
+type allocMeter struct {
+	mallocs uint64
+	bytes   uint64
+}
+
+func (m *allocMeter) start() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.mallocs, m.bytes = ms.Mallocs, ms.TotalAlloc
+}
+
+// stop returns the allocation count and byte delta since start.
+func (m *allocMeter) stop() (allocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs - m.mallocs, ms.TotalAlloc - m.bytes
+}
+
+// recordSweepBench captures a finished benchmark's timing and allocation
+// counts for the JSON emitter. Call it after the b.N loop, with the deltas
+// from an allocMeter started just before the loop.
+func recordSweepBench(b *testing.B, family string, workers int, allocs, bytes uint64) {
 	b.Helper()
 	rec := sweepBenchRecord{
-		Name:       family,
-		Workers:    workers,
-		Iterations: b.N,
-		NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Name:        family,
+		Workers:     workers,
+		Iterations:  b.N,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp: float64(allocs) / float64(b.N),
+		BytesPerOp:  float64(bytes) / float64(b.N),
 	}
 	sweepBench.Lock()
 	sweepBench.records = append(sweepBench.records, rec)
 	sweepBench.Unlock()
+}
+
+// snapshot108PrePR pins the last measurement of
+// BenchmarkSnapshot108Satellites before the per-step fast path (map-backed
+// graphs, scalar per-pair link physics; Intel Xeon @ 2.10 GHz), so the
+// emitted report documents the gain next to the fresh numbers.
+var snapshot108PrePR = sweepBenchRecord{
+	Name:        "Snapshot108/pre-fast-path",
+	Workers:     1,
+	Iterations:  1,
+	NsPerOp:     3344511,
+	AllocsPerOp: 340,
+	BytesPerOp:  52472,
 }
 
 // flushSweepBench derives speedups and writes the JSON report.
@@ -71,13 +114,29 @@ func flushSweepBench(path string) error {
 		}
 	}
 	report := struct {
-		GOMAXPROCS int                `json:"gomaxprocs"`
-		NumCPU     int                `json:"num_cpu"`
-		Benchmarks []sweepBenchRecord `json:"benchmarks"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+		NumCPU     int `json:"num_cpu"`
+		// Snapshot108PrePR and the two derived fields document the
+		// per-step fast path against the pinned pre-fast-path numbers.
+		Snapshot108PrePR        *sweepBenchRecord  `json:"snapshot108_pre_fast_path,omitempty"`
+		Snapshot108Speedup      float64            `json:"snapshot108_speedup_vs_pre_fast_path,omitempty"`
+		Snapshot108AllocsFactor float64            `json:"snapshot108_allocs_ratio_vs_pre_fast_path,omitempty"`
+		Benchmarks              []sweepBenchRecord `json:"benchmarks"`
 	}{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: sweepBench.records,
+	}
+	for _, r := range sweepBench.records {
+		if r.Name == "Snapshot108" && r.Workers == 1 && r.NsPerOp > 0 {
+			pre := snapshot108PrePR
+			report.Snapshot108PrePR = &pre
+			report.Snapshot108Speedup = pre.NsPerOp / r.NsPerOp
+			if pre.AllocsPerOp > 0 {
+				report.Snapshot108AllocsFactor = r.AllocsPerOp / pre.AllocsPerOp
+			}
+			break
+		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -108,12 +167,16 @@ func BenchmarkCoverageSweep(b *testing.B) {
 	p := DefaultParams()
 	for _, workers := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var m allocMeter
+			m.start()
 			for i := 0; i < b.N; i++ {
 				if _, err := CoverageSweepParallel(p, PaperSweepSizes(), 2*time.Hour, workers); err != nil {
 					b.Fatal(err)
 				}
 			}
-			recordSweepBench(b, "CoverageSweep", workers)
+			allocs, bytes := m.stop()
+			recordSweepBench(b, "CoverageSweep", workers, allocs, bytes)
 		})
 	}
 }
@@ -125,12 +188,16 @@ func BenchmarkServeSweep(b *testing.B) {
 	cfg := ServeConfig{RequestsPerStep: 25, Steps: 25, Seed: 1}
 	for _, workers := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var m allocMeter
+			m.start()
 			for i := 0; i < b.N; i++ {
 				if _, err := ServeSweepParallel(p, PaperSweepSizes(), cfg, workers); err != nil {
 					b.Fatal(err)
 				}
 			}
-			recordSweepBench(b, "ServeSweep", workers)
+			allocs, bytes := m.stop()
+			recordSweepBench(b, "ServeSweep", workers, allocs, bytes)
 		})
 	}
 }

@@ -3,6 +3,8 @@ package qntn
 import (
 	"testing"
 	"time"
+
+	"qntn/internal/routing"
 )
 
 func BenchmarkSnapshot108Satellites(b *testing.B) {
@@ -10,12 +12,39 @@ func BenchmarkSnapshot108Satellites(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var m allocMeter
+	m.start()
 	for i := 0; i < b.N; i++ {
 		if _, err := sc.Graph(time.Duration(i) * 30 * time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "Snapshot108", 1, allocs, bytes)
+}
+
+// BenchmarkSnapshotInto108Satellites measures the arena-reuse path: the
+// same topology work as BenchmarkSnapshot108Satellites, but into one
+// caller-owned graph — the steady state of RunServe and Coverage.
+func BenchmarkSnapshotInto108Satellites(b *testing.B) {
+	sc, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := routing.NewGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m allocMeter
+	m.start()
+	for i := 0; i < b.N; i++ {
+		if err := sc.GraphInto(g, time.Duration(i)*30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "SnapshotInto108", 1, allocs, bytes)
 }
 
 func BenchmarkRoutesAirGround(b *testing.B) {
@@ -23,12 +52,17 @@ func BenchmarkRoutesAirGround(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var m allocMeter
+	m.start()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sc.Routes(0); err != nil {
 			b.Fatal(err)
 		}
 	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "RoutesAirGround", 1, allocs, bytes)
 }
 
 func BenchmarkRoutes108Satellites(b *testing.B) {
@@ -36,12 +70,17 @@ func BenchmarkRoutes108Satellites(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var m allocMeter
+	m.start()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sc.Routes(time.Duration(i) * 30 * time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "Routes108", 1, allocs, bytes)
 }
 
 func BenchmarkCoverageHour108Satellites(b *testing.B) {
@@ -49,12 +88,17 @@ func BenchmarkCoverageHour108Satellites(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var m allocMeter
+	m.start()
 	for i := 0; i < b.N; i++ {
 		if _, err := sc.Coverage(time.Hour); err != nil {
 			b.Fatal(err)
 		}
 	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "CoverageHour108", 1, allocs, bytes)
 }
 
 func BenchmarkPathFidelityBestSplit(b *testing.B) {

@@ -47,17 +47,14 @@ func (r CoverageResult) Percent() float64 {
 // equivalent to all three LANs lying in one connected component, which is
 // what the union-find below checks.
 func (sc *Scenario) Bridged(g *routing.Graph) bool {
-	nodes := g.Nodes()
-	idx := make(map[string]int, len(nodes))
-	for i, id := range nodes {
-		idx[id] = i
-	}
-	uf := newUnionFind(len(nodes))
-	for i, id := range nodes {
-		for _, nb := range g.Neighbors(id) {
-			uf.union(i, idx[nb])
-		}
-	}
+	return sc.bridgedInto(&unionFind{}, g)
+}
+
+// bridgedInto is Bridged with a caller-owned union-find, so per-step
+// callers (Coverage, DetailedCoverage) reuse one scratch across snapshots.
+func (sc *Scenario) bridgedInto(uf *unionFind, g *routing.Graph) bool {
+	uf.ensure(g.NumNodes())
+	g.EachEdge(func(i, j int, _ float64) { uf.union(i, j) })
 	// All LANs must share one component (via any of their nodes; LAN
 	// nodes are mutually fiber-connected so the first node suffices, but
 	// we check every node defensively in case a LAN is internally split).
@@ -67,10 +64,15 @@ func (sc *Scenario) Bridged(g *routing.Graph) bool {
 		if len(ids) == 0 {
 			return false
 		}
-		r := uf.find(idx[ids[0]])
+		i0, ok := g.IndexOf(ids[0])
+		if !ok {
+			return false
+		}
+		r := uf.find(i0)
 		for _, id := range ids[1:] {
-			if uf.find(idx[id]) != r {
-				return false // LAN internally disconnected
+			ii, ok := g.IndexOf(id)
+			if !ok || uf.find(ii) != r {
+				return false // LAN internally disconnected (or absent)
 			}
 		}
 		if root == -1 {
@@ -93,15 +95,17 @@ func (sc *Scenario) Coverage(duration time.Duration) (*CoverageResult, error) {
 	step := sc.Params.StepInterval
 	res := &CoverageResult{Total: duration}
 	sim := netsim.NewSimulator()
+	// One graph and one union-find are reused across every topology step.
+	g := routing.NewGraph()
+	uf := &unionFind{}
 	var simErr error
 	err := sim.ScheduleEvery(0, step, duration-step, "topology-update", func(s *netsim.Simulator) {
-		g, err := sc.Graph(s.Now())
-		if err != nil {
+		if err := sc.GraphInto(g, s.Now()); err != nil {
 			simErr = err
 			s.Stop()
 			return
 		}
-		accumulate(res, s.Now(), step, sc.Bridged(g))
+		accumulate(res, s.Now(), step, sc.bridgedInto(uf, g))
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +137,18 @@ func newUnionFind(n int) *unionFind {
 		uf.size[i] = 1
 	}
 	return uf
+}
+
+// ensure resizes the union-find to exactly n fresh singleton elements,
+// reusing the backing arrays when possible.
+func (uf *unionFind) ensure(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int, n)
+		uf.size = make([]int, n)
+	}
+	uf.parent = uf.parent[:n]
+	uf.size = uf.size[:n]
+	uf.reset(n)
 }
 
 func (uf *unionFind) find(x int) int {

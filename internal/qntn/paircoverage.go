@@ -34,24 +34,19 @@ type CoverageDetail struct {
 // bridgedPairs computes, for one snapshot, which LAN pairs are connected.
 // Returns the pair map and whether all LANs share one component.
 func (sc *Scenario) bridgedPairs(g *routing.Graph) (map[[2]string]bool, bool) {
-	nodes := g.Nodes()
-	idx := make(map[string]int, len(nodes))
-	for i, id := range nodes {
-		idx[id] = i
-	}
-	uf := newUnionFind(len(nodes))
-	for i, id := range nodes {
-		for _, nb := range g.Neighbors(id) {
-			uf.union(i, idx[nb])
-		}
-	}
+	uf := newUnionFind(g.NumNodes())
+	g.EachEdge(func(i, j int, _ float64) { uf.union(i, j) })
 	roots := make(map[string]int, len(sc.LANs))
 	for _, lan := range sc.LANs {
 		ids := sc.GroundIDs[lan.Name]
 		if len(ids) == 0 {
 			return nil, false
 		}
-		roots[lan.Name] = uf.find(idx[ids[0]])
+		i0, ok := g.IndexOf(ids[0])
+		if !ok {
+			return nil, false
+		}
+		roots[lan.Name] = uf.find(i0)
 	}
 	pairs := make(map[[2]string]bool)
 	all := true
@@ -87,9 +82,9 @@ func (sc *Scenario) DetailedCoverage(duration time.Duration) (*CoverageDetail, e
 	}
 	tracker := netsim.NewLinkTracker()
 	first := true
+	g := routing.NewGraph() // reused across steps; the tracker copies edges
 	for at := time.Duration(0); at+step <= duration; at += step {
-		g, err := sc.Graph(at)
-		if err != nil {
+		if err := sc.GraphInto(g, at); err != nil {
 			return nil, err
 		}
 		changes := tracker.Observe(at, g)

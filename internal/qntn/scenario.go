@@ -2,6 +2,7 @@ package qntn
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"qntn/internal/astro"
@@ -61,12 +62,25 @@ type Scenario struct {
 	fiber        channel.Fiber
 	spaceFSO     channel.FSOConfig
 	hapFSO       channel.FSOConfig
+	satHAPFSO    channel.FSOConfig
 	policy       channel.LinkPolicy
 	groundByID   map[string]*netsim.GroundHost
 	relays       []netsim.Node
 	satAltM      float64
 	islClearance float64
 	sun          astro.Sun
+
+	// Squared-slant-range prefilter gates derived from the transmissivity
+	// threshold (see channel.FSOConfig.MaxUsableRangeM2): beyond the gate
+	// a link provably fails the threshold, so the fast path skips the full
+	// FSO evaluation.
+	spaceMaxRangeM2  float64
+	hapMaxRangeM2    float64
+	satHAPMaxRangeM2 float64
+
+	// stepPool recycles stepEval instances across topology steps (and
+	// across concurrent sweep workers — each worker holds its own).
+	stepPool sync.Pool
 }
 
 // NewSpaceGround assembles the space-ground architecture with the first
@@ -173,7 +187,12 @@ func assembleTrusted(arch Architecture, p Params, lans []LocalNetwork, relays []
 		satAltM:      p.SatelliteAltitudeM,
 		islClearance: p.ISLClearanceAltM,
 	}
-	sc.Net = netsim.NewNetwork(netsim.LinkModelFunc(sc.evaluateLink))
+	sc.satHAPFSO = sc.spaceFSO
+	sc.satHAPFSO.RxApertureRadiusM = p.HAPApertureRadiusM
+	sc.spaceMaxRangeM2 = sc.spaceFSO.MaxUsableRangeM2(p.TransmissivityThreshold)
+	sc.hapMaxRangeM2 = sc.hapFSO.MaxUsableRangeM2(p.TransmissivityThreshold)
+	sc.satHAPMaxRangeM2 = sc.satHAPFSO.MaxUsableRangeM2(p.TransmissivityThreshold)
+	sc.Net = netsim.NewNetwork(scenarioModel{sc})
 
 	for _, lan := range sc.LANs {
 		for i, pos := range lan.Nodes {
@@ -260,11 +279,12 @@ func (sc *Scenario) groundSpaceLink(ground, relay netsim.Node, t time.Duration, 
 	if relay.Kind() == netsim.HAP && !sc.hapAvailable(relay, t) {
 		return 0, false
 	}
-	look := geo.Look(gh.LLA(), relay.PositionAt(t))
+	relayPos := relay.PositionAt(t)
+	look := geo.Look(gh.LLA(), relayPos)
 	if look.ElevationRad < sc.Params.MinElevationRad {
 		return 0, false
 	}
-	relayAlt := geo.ToLLA(relay.PositionAt(t)).AltM
+	relayAlt := geo.ToLLA(relayPos).AltM
 	eta := cfg.Transmissivity(channel.FSOGeometry{
 		RangeM:       look.SlantRangeM,
 		ElevationRad: look.ElevationRad,
@@ -285,11 +305,19 @@ func (sc *Scenario) interSatelliteLink(a, b netsim.Node, t time.Duration) (float
 	if !geo.LineOfSight(pa, pb, sc.islClearance) {
 		return 0, false
 	}
+	// One geodetic conversion per endpoint; the grazing elevation is
+	// ElevationBetween inlined on the hoisted conversions (seen from the
+	// lower endpoint).
+	la, lb := geo.ToLLA(pa), geo.ToLLA(pb)
+	loLLA, hiPos := la, pb
+	if pa.Norm() > pb.Norm() {
+		loLLA, hiPos = lb, pa
+	}
 	eta := sc.spaceFSO.Transmissivity(channel.FSOGeometry{
 		RangeM:       pa.Distance(pb),
-		ElevationRad: geo.ElevationBetween(pa, pb),
-		LoAltM:       geo.ToLLA(pa).AltM,
-		HiAltM:       geo.ToLLA(pb).AltM,
+		ElevationRad: geo.NewFrame(loLLA).Look(hiPos).ElevationRad,
+		LoAltM:       la.AltM,
+		HiAltM:       lb.AltM,
 	})
 	if eta < sc.Params.TransmissivityThreshold {
 		return 0, false
@@ -301,21 +329,25 @@ func (sc *Scenario) interSatelliteLink(a, b netsim.Node, t time.Duration) (float
 // with the space terminal, the HAP receives through its small aperture.
 func (sc *Scenario) satelliteHAPLink(sat, hap netsim.Node, t time.Duration) (float64, bool) {
 	ps, ph := sat.PositionAt(t), hap.PositionAt(t)
-	if !geo.LineOfSight(ps, ph, sc.islClearance) {
-		return 0, false
+	// One geodetic conversion per endpoint, and the elevation mask — the
+	// most selective gate — ahead of line of sight and the FSO evaluation.
+	sLLA, hLLA := geo.ToLLA(ps), geo.ToLLA(ph)
+	loLLA, hiPos := sLLA, ph
+	if ps.Norm() > ph.Norm() {
+		loLLA, hiPos = hLLA, ps
 	}
-	cfg := sc.spaceFSO
-	cfg.RxApertureRadiusM = sc.Params.HAPApertureRadiusM
-	hapLLA := geo.ToLLA(ph)
-	elev := geo.ElevationBetween(ps, ph)
+	elev := geo.NewFrame(loLLA).Look(hiPos).ElevationRad
 	if elev < sc.Params.MinElevationRad {
 		return 0, false
 	}
-	eta := cfg.Transmissivity(channel.FSOGeometry{
+	if !geo.LineOfSight(ps, ph, sc.islClearance) {
+		return 0, false
+	}
+	eta := sc.satHAPFSO.Transmissivity(channel.FSOGeometry{
 		RangeM:       ps.Distance(ph),
 		ElevationRad: elev,
-		LoAltM:       hapLLA.AltM,
-		HiAltM:       geo.ToLLA(ps).AltM,
+		LoAltM:       hLLA.AltM,
+		HiAltM:       sLLA.AltM,
 	})
 	if eta < sc.Params.TransmissivityThreshold {
 		return 0, false
@@ -326,6 +358,13 @@ func (sc *Scenario) satelliteHAPLink(sat, hap netsim.Node, t time.Duration) (flo
 // Graph returns the usable-link transmissivity graph at virtual time t.
 func (sc *Scenario) Graph(t time.Duration) (*routing.Graph, error) {
 	return sc.Net.Snapshot(t)
+}
+
+// GraphInto stores the usable-link graph at time t into g, reusing its
+// storage across calls (see netsim.Network.SnapshotInto). The steady state
+// of a caller stepping one graph through time allocates nothing.
+func (sc *Scenario) GraphInto(g *routing.Graph, t time.Duration) error {
+	return sc.Net.SnapshotInto(g, t)
 }
 
 // Routes computes the converged Algorithm 1 routing tables for the topology

@@ -6,6 +6,7 @@ import (
 
 	"qntn/internal/netsim"
 	"qntn/internal/orbit"
+	"qntn/internal/routing"
 	"qntn/internal/stats"
 )
 
@@ -92,13 +93,18 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 		stepGap = sc.Params.StepInterval
 	}
 
+	// One graph and one Bellman-Ford scratch serve every step: the node
+	// set is fixed, so per-step work reuses their storage.
+	graph := routing.NewGraph()
+	var scratch routing.BellmanFordScratch
+
 	var fids, etas []float64
 	for step := 0; step < cfg.Steps; step++ {
 		at := time.Duration(step) * stepGap
-		tables, graph, err := sc.Routes(at)
-		if err != nil {
+		if err := sc.GraphInto(graph, at); err != nil {
 			return nil, err
 		}
+		tables := scratch.Run(graph, sc.Params.RoutingEpsilon)
 		for _, req := range wl.Batch(cfg.RequestsPerStep) {
 			out := netsim.Outcome{Request: req, At: at}
 			if tables.Reachable(req.Src, req.Dst) {

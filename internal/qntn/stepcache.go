@@ -1,0 +1,297 @@
+package qntn
+
+import (
+	"time"
+
+	"qntn/internal/channel"
+	"qntn/internal/geo"
+	"qntn/internal/netsim"
+)
+
+// scenarioModel binds a Scenario to netsim's link-model interfaces. The
+// per-pair Evaluate is the reference physics; BeginStep returns the batched
+// fast path, which reproduces Evaluate's results exactly (the snapshot
+// equivalence tests assert bit-identity pair by pair).
+type scenarioModel struct{ sc *Scenario }
+
+// Evaluate implements netsim.LinkModel.
+func (m scenarioModel) Evaluate(a, b netsim.Node, t time.Duration) (float64, bool) {
+	return m.sc.evaluateLink(a, b, t)
+}
+
+// BeginStep implements netsim.StepModel.
+func (m scenarioModel) BeginStep(nodes []netsim.Node, t time.Duration) netsim.StepEvaluator {
+	return m.sc.beginStep(nodes, t)
+}
+
+// beginStep returns a step evaluator for the given node set at instant t,
+// drawing from the scenario's pool so steady-state snapshots allocate
+// nothing. The caller must Close the evaluator to return it to the pool.
+// Evaluators are independent, so concurrent sweep workers can each hold
+// one.
+func (sc *Scenario) beginStep(nodes []netsim.Node, t time.Duration) *stepEval {
+	se, _ := sc.stepPool.Get().(*stepEval)
+	if se == nil {
+		se = &stepEval{sc: sc}
+	}
+	if !se.sameNodes(nodes) {
+		se.init(nodes)
+	}
+	se.reset(t)
+	return se
+}
+
+// stepEval is the per-instant link-evaluation fast path: it hoists every
+// per-node quantity out of the O(N²) pair loop — each relay's position,
+// geodetic conversion and observation frame, each ground host's darkness
+// and each HAP's availability are computed exactly once per timestep — and
+// then answers pair queries from the cache. Cheap conservative prefilters
+// (horizon test, squared-range gate) reject most pairs before the full FSO
+// evaluation; pairs that survive run the exact reference computation, so
+// results are bit-identical to Scenario.evaluateLink.
+type stepEval struct {
+	sc    *Scenario
+	nodes []netsim.Node
+
+	// Static per-node data (valid while the node set is unchanged).
+	kind    []netsim.NodeKind
+	network []string
+	ground  []*netsim.GroundHost
+	gFrame  []geo.Frame // ground hosts: observation frame
+	gAltM   []float64   // ground hosts: geodetic altitude
+	gPos    []geo.Vec3  // ground-kind nodes: PositionAt(0)
+
+	// Per-step data (valid for one instant t).
+	t     time.Duration
+	pos   []geo.Vec3  // relays: PositionAt(t)
+	normM []float64   // relays: pos.Norm()
+	lla   []geo.LLA   // relays: geo.ToLLA(pos)
+	frame []geo.Frame // relays: observation frame at lla
+	dark  []bool      // ground hosts: IsDark (when RequireDarkness)
+	avail []bool      // HAPs: hapAvailable(t)
+}
+
+// sameNodes reports whether the evaluator's static caches were built for
+// exactly this node slice (node identity, not just IDs).
+func (se *stepEval) sameNodes(nodes []netsim.Node) bool {
+	if len(se.nodes) != len(nodes) {
+		return false
+	}
+	for i, n := range nodes {
+		if se.nodes[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// possible. Contents are unspecified — callers overwrite every element.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// init rebuilds the static per-node caches.
+func (se *stepEval) init(nodes []netsim.Node) {
+	n := len(nodes)
+	se.nodes = append(se.nodes[:0], nodes...)
+	se.kind = grow(se.kind, n)
+	se.network = grow(se.network, n)
+	se.ground = grow(se.ground, n)
+	se.gFrame = grow(se.gFrame, n)
+	se.gAltM = grow(se.gAltM, n)
+	se.gPos = grow(se.gPos, n)
+	se.pos = grow(se.pos, n)
+	se.normM = grow(se.normM, n)
+	se.lla = grow(se.lla, n)
+	se.frame = grow(se.frame, n)
+	se.dark = grow(se.dark, n)
+	se.avail = grow(se.avail, n)
+	for i, node := range nodes {
+		se.kind[i] = node.Kind()
+		se.network[i] = node.Network()
+		gh, _ := node.(*netsim.GroundHost)
+		se.ground[i] = gh
+		if gh != nil {
+			se.gFrame[i] = geo.NewFrame(gh.LLA())
+			se.gAltM[i] = gh.LLA().AltM
+		}
+		if se.kind[i] == netsim.Ground {
+			se.gPos[i] = node.PositionAt(0)
+		}
+	}
+}
+
+// reset recomputes the per-step caches for instant t: one position, norm,
+// geodetic conversion and frame per relay; one darkness bit per ground
+// host; one availability bit per HAP.
+func (se *stepEval) reset(t time.Duration) {
+	se.t = t
+	sc := se.sc
+	requireDark := sc.Params.RequireDarkness
+	var twilightRad float64
+	if requireDark {
+		twilightRad = sc.Params.twilight()
+	}
+	for i, node := range se.nodes {
+		if se.kind[i] == netsim.Ground {
+			if requireDark && se.ground[i] != nil {
+				se.dark[i] = sc.sun.IsDark(se.ground[i].LLA(), t, twilightRad)
+			}
+			continue
+		}
+		p := node.PositionAt(t)
+		se.pos[i] = p
+		se.normM[i] = p.Norm()
+		l := geo.ToLLA(p)
+		se.lla[i] = l
+		se.frame[i] = geo.NewFrame(l)
+		if se.kind[i] == netsim.HAP {
+			se.avail[i] = sc.hapAvailable(node, t)
+		}
+	}
+}
+
+// Close implements netsim.StepEvaluator, returning the evaluator to its
+// scenario's pool.
+func (se *stepEval) Close() { se.sc.stepPool.Put(se) }
+
+// EvaluatePair implements netsim.StepEvaluator. It mirrors the dispatch of
+// Scenario.evaluateLink exactly (order so kind[a] <= kind[b], then switch
+// on the kind pair).
+func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
+	a, b := i, j
+	if se.kind[a] > se.kind[b] {
+		a, b = b, a
+	}
+	switch {
+	case se.kind[a] == netsim.Ground && se.kind[b] == netsim.Ground:
+		return se.fiberPair(a, b)
+	case se.kind[a] == netsim.Ground && se.kind[b] == netsim.Satellite:
+		return se.groundRelayPair(a, b, &se.sc.spaceFSO, se.sc.spaceMaxRangeM2)
+	case se.kind[a] == netsim.Ground && se.kind[b] == netsim.HAP:
+		return se.groundRelayPair(a, b, &se.sc.hapFSO, se.sc.hapMaxRangeM2)
+	case se.kind[a] == netsim.Satellite && se.kind[b] == netsim.Satellite:
+		return se.islPair(a, b)
+	case se.kind[a] == netsim.Satellite && se.kind[b] == netsim.HAP:
+		return se.satHAPPair(a, b)
+	default:
+		return 0, false
+	}
+}
+
+// fiberPair mirrors Scenario.fiberLink on cached positions.
+func (se *stepEval) fiberPair(a, b int) (float64, bool) {
+	if se.network[a] != se.network[b] || se.network[a] == "" {
+		return 0, false
+	}
+	eta := se.sc.fiber.Transmissivity(se.gPos[a].Distance(se.gPos[b]))
+	if eta < se.sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// groundRelayPair mirrors Scenario.groundSpaceLink on cached geometry, with
+// two conservative prefilters ahead of the full evaluation: the horizon
+// test (a relay below the host's horizon cannot meet the non-negative
+// elevation mask) and the squared-range gate (beyond it the transmissivity
+// provably falls below the threshold).
+func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2 float64) (float64, bool) {
+	gh := se.ground[a]
+	if gh == nil {
+		return 0, false
+	}
+	sc := se.sc
+	if sc.Params.RequireDarkness && !se.dark[a] {
+		return 0, false
+	}
+	if se.kind[b] == netsim.HAP && !se.avail[b] {
+		return 0, false
+	}
+	f := &se.gFrame[a]
+	if !f.AboveHorizon(se.pos[b]) {
+		return 0, false
+	}
+	look := f.Look(se.pos[b])
+	if look.ElevationRad < sc.Params.MinElevationRad {
+		return 0, false
+	}
+	if look.SlantRangeM*look.SlantRangeM > maxRangeM2 {
+		return 0, false
+	}
+	eta := cfg.Transmissivity(channel.FSOGeometry{
+		RangeM:       look.SlantRangeM,
+		ElevationRad: look.ElevationRad,
+		LoAltM:       se.gAltM[a],
+		HiAltM:       se.lla[b].AltM,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// islPair mirrors Scenario.interSatelliteLink on cached geometry, with the
+// squared-range gate applied before the line-of-sight test (at the paper's
+// threshold the gate rejects the large majority of satellite pairs).
+func (se *stepEval) islPair(a, b int) (float64, bool) {
+	sc := se.sc
+	pa, pb := se.pos[a], se.pos[b]
+	d := pb.Sub(pa)
+	if d.Dot(d) > sc.spaceMaxRangeM2 {
+		return 0, false
+	}
+	if !geo.LineOfSight(pa, pb, sc.islClearance) {
+		return 0, false
+	}
+	lo, hi := a, b
+	if se.normM[lo] > se.normM[hi] {
+		lo, hi = hi, lo
+	}
+	eta := sc.spaceFSO.Transmissivity(channel.FSOGeometry{
+		RangeM:       pa.Distance(pb),
+		ElevationRad: se.frame[lo].Look(se.pos[hi]).ElevationRad,
+		LoAltM:       se.lla[a].AltM,
+		HiAltM:       se.lla[b].AltM,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}
+
+// satHAPPair mirrors Scenario.satelliteHAPLink on cached geometry, with the
+// squared-range gate first.
+func (se *stepEval) satHAPPair(a, b int) (float64, bool) {
+	sc := se.sc
+	ps, ph := se.pos[a], se.pos[b]
+	d := ph.Sub(ps)
+	if d.Dot(d) > sc.satHAPMaxRangeM2 {
+		return 0, false
+	}
+	lo, hi := a, b
+	if se.normM[lo] > se.normM[hi] {
+		lo, hi = hi, lo
+	}
+	elev := se.frame[lo].Look(se.pos[hi]).ElevationRad
+	if elev < sc.Params.MinElevationRad {
+		return 0, false
+	}
+	if !geo.LineOfSight(ps, ph, sc.islClearance) {
+		return 0, false
+	}
+	eta := sc.satHAPFSO.Transmissivity(channel.FSOGeometry{
+		RangeM:       ps.Distance(ph),
+		ElevationRad: elev,
+		LoAltM:       se.lla[b].AltM,
+		HiAltM:       se.lla[a].AltM,
+	})
+	if eta < sc.Params.TransmissivityThreshold {
+		return 0, false
+	}
+	return eta, true
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"qntn/internal/netsim"
 	"qntn/internal/runner"
 	"qntn/internal/stats"
 )
@@ -78,14 +77,25 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 	}
 	nLAN := len(sc.LANs)
 
-	// Representative hosts per LAN for the early-exit coverage check.
-	lanHosts := make([][]netsim.Node, nLAN)
+	// Dense node indices (into the network's node order) for the step
+	// evaluator: representative hosts per LAN for the early-exit coverage
+	// check, and every relay.
+	nodes := sc.Net.Nodes()
+	nodeIndex := make(map[string]int, len(nodes))
+	for i, node := range nodes {
+		nodeIndex[node.ID()] = i
+	}
+	lanHosts := make([][]int, nLAN)
 	for li, lan := range sc.LANs {
 		for _, id := range sc.GroundIDs[lan.Name] {
-			lanHosts[li] = append(lanHosts[li], sc.Net.Node(id))
+			lanHosts[li] = append(lanHosts[li], nodeIndex[id])
 		}
 	}
-	sats := sc.relays
+	satIdx := make([]int, len(sc.relays))
+	for si, r := range sc.relays {
+		satIdx[si] = nodeIndex[r.ID()]
+	}
+	nSats := len(satIdx)
 
 	numChunks := (len(times) + coverageChunkSteps - 1) / coverageChunkSteps
 	partials := make([][]CoverageResult, numChunks)
@@ -101,13 +111,16 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 		uf := newUnionFind(nLAN + maxN)
 
 		for _, at := range times[lo:hi] {
-			// Phase 1: evaluate physics once for the largest constellation.
-			for si, sat := range sats {
+			// Phase 1: evaluate physics once for the largest constellation,
+			// through a per-worker step evaluator so positions, geodetic
+			// conversions and darkness are computed once per instant.
+			ev := sc.beginStep(nodes, at)
+			for si, sat := range satIdx {
 				islNbr[si] = islNbr[si][:0]
 				for li := range lanHosts {
 					covered := false
 					for _, h := range lanHosts[li] {
-						if _, ok := sc.evaluateLink(h, sat, at); ok {
+						if _, ok := ev.EvaluatePair(h, sat); ok {
 							covered = true
 							break
 						}
@@ -115,13 +128,14 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 					coversLAN[si*nLAN+li] = covered
 				}
 			}
-			for i := 0; i < len(sats); i++ {
-				for j := i + 1; j < len(sats); j++ {
-					if _, ok := sc.evaluateLink(sats[i], sats[j], at); ok {
+			for i := 0; i < nSats; i++ {
+				for j := i + 1; j < nSats; j++ {
+					if _, ok := ev.EvaluatePair(satIdx[i], satIdx[j]); ok {
 						islNbr[i] = append(islNbr[i], j)
 					}
 				}
 			}
+			ev.Close()
 
 			// Phase 2: answer each size from the cache.
 			for ri, n := range sizes {

@@ -71,7 +71,8 @@ func ClassicBellmanFord(g *Graph, src string, cost CostFunc) (*SingleSourceResul
 				continue
 			}
 			for _, v := range g.neighborIndices(u) {
-				c := cost(g.adj[u][v])
+				eta, _ := g.etaAt(u, v)
+				c := cost(eta)
 				if c < 0 {
 					return nil, fmt.Errorf("routing: negative edge cost %g", c)
 				}
@@ -114,7 +115,8 @@ func Dijkstra(g *Graph, src string, cost CostFunc) (*SingleSourceResult, error) 
 		}
 		done[u] = true
 		for _, v := range g.neighborIndices(u) {
-			c := cost(g.adj[u][v])
+			eta, _ := g.etaAt(u, v)
+			c := cost(eta)
 			if c < 0 {
 				return nil, fmt.Errorf("routing: negative edge cost %g", c)
 			}

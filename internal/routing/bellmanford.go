@@ -15,68 +15,106 @@ func CostFromEta(eta, epsilon float64) float64 {
 	return 1 / (eta + epsilon)
 }
 
-// Entry is one routing-table row: the accumulated cost to a destination and
-// the Via node — the last relay before the destination, exactly as stored
-// by Algorithm 1 (a predecessor pointer).
-type Entry struct {
-	Cost float64
-	Via  string // "" for self or unreachable
-}
-
-// Table maps destination ID to routing entry for a single node.
-type Table map[string]Entry
-
-// Tables holds the converged routing table of every node.
+// Tables holds the converged routing table of every node: for each (node,
+// destination) pair the minimal total cost and the Algorithm 1 Via waypoint
+// needed to reconstruct the path. Storage is dense (one cost and one
+// waypoint index per pair), matching the dense Graph it is computed from.
 type Tables struct {
 	Epsilon float64
-	ByNode  map[string]Table
+
+	ids   []string
+	index map[string]int
+	n     int
+	// cost[i*n+j] is node i's converged cost to reach j; via holds the
+	// Algorithm 1 waypoint (-1 none, j itself for direct edges).
+	cost []float64
+	via  []int32
+}
+
+// BellmanFordScratch is the reusable workspace of the Algorithm 1 solver.
+// Run converges the tables for a graph, reusing the buffers of previous
+// runs; the returned Tables alias the scratch and are valid only until the
+// next Run on the same scratch. The zero value is ready to use. A scratch
+// must not be shared between goroutines.
+type BellmanFordScratch struct {
+	t Tables
+	// Flattened neighbor lists of the current graph: node u's neighbors
+	// are nbrs[off[u]:off[u+1]], ascending.
+	nbrs []int32
+	off  []int32
 }
 
 // BellmanFord runs the paper's Algorithm 1 on the graph: every node
 // initializes a table with cost 0 to itself, 1/(η+ε) to adjacent nodes and
 // +Inf elsewhere, then N−1 synchronous rounds of relaxation over all graph
-// edges update each table. The returned tables contain, for every (node,
-// destination) pair, the minimal total cost and the predecessor needed to
-// reconstruct the path.
+// edges update each table. Callers converging tables for many topology
+// snapshots should allocate a BellmanFordScratch and call Run instead.
 func BellmanFord(g *Graph, epsilon float64) *Tables {
+	return new(BellmanFordScratch).Run(g, epsilon)
+}
+
+// Run converges the Algorithm 1 tables for g, reusing the scratch buffers.
+// The result is valid until the next Run call on the same scratch.
+func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 	if epsilon <= 0 {
 		epsilon = DefaultEpsilon
 	}
+	t := &s.t
+	t.Epsilon = epsilon
 	n := g.NumNodes()
-	tables := &Tables{Epsilon: epsilon, ByNode: make(map[string]Table, n)}
+	s.setIDs(g.ids)
 	if n == 0 {
-		return tables
+		return t
 	}
-
-	// Dense working state: cost[i*n+j] is node i's cost to reach j, via
-	// holds the Algorithm 1 waypoint (-1 none, j itself for direct edges).
-	cost := make([]float64, n*n)
-	via := make([]int32, n*n)
+	if cap(t.cost) >= n*n {
+		t.cost = t.cost[:n*n]
+		t.via = t.via[:n*n]
+	} else {
+		t.cost = make([]float64, n*n)
+		t.via = make([]int32, n*n)
+	}
 	inf := math.Inf(1)
 
-	// Precompute sorted neighbor lists once for deterministic iteration.
-	nbrs := make([][]int, n)
+	// Flatten the (ascending) neighbor lists once for deterministic,
+	// allocation-free iteration during the update rounds.
+	s.nbrs = s.nbrs[:0]
+	if cap(s.off) >= n+1 {
+		s.off = s.off[:1]
+	} else {
+		s.off = make([]int32, 1, n+1)
+	}
+	s.off[0] = 0
 	for u := 0; u < n; u++ {
-		nbrs[u] = g.neighborIndices(u)
+		if u < g.matN {
+			row := g.mat[u*g.matN : (u+1)*g.matN]
+			for v, eta := range row {
+				if eta >= 0 {
+					s.nbrs = append(s.nbrs, int32(v))
+				}
+			}
+		}
+		s.off = append(s.off, int32(len(s.nbrs)))
 	}
 
 	// INITIALIZE (Algorithm 1).
 	for i := 0; i < n; i++ {
-		row := cost[i*n : (i+1)*n]
-		vrow := via[i*n : (i+1)*n]
+		row := t.cost[i*n : (i+1)*n]
+		vrow := t.via[i*n : (i+1)*n]
+		var arow []float64
+		if i < g.matN {
+			arow = g.mat[i*g.matN : (i+1)*g.matN]
+		}
 		for j := 0; j < n; j++ {
 			switch {
 			case i == j:
 				row[j] = 0
 				vrow[j] = -1
+			case j < len(arow) && arow[j] >= 0:
+				row[j] = CostFromEta(arow[j], epsilon)
+				vrow[j] = int32(j)
 			default:
-				if eta, ok := g.adj[i][j]; ok {
-					row[j] = CostFromEta(eta, epsilon)
-					vrow[j] = int32(j)
-				} else {
-					row[j] = inf
-					vrow[j] = -1
-				}
+				row[j] = inf
+				vrow[j] = -1
 			}
 		}
 	}
@@ -86,22 +124,22 @@ func BellmanFord(g *Graph, epsilon float64) *Tables {
 	for round := 0; round < n-1; round++ {
 		changed := false
 		for i := 0; i < n; i++ {
-			row := cost[i*n : (i+1)*n]
-			vrow := via[i*n : (i+1)*n]
+			row := t.cost[i*n : (i+1)*n]
+			vrow := t.via[i*n : (i+1)*n]
 			for u := 0; u < n; u++ {
 				if u == i {
 					continue
 				}
-				for _, v := range nbrs[u] {
-					if v == i {
+				for _, v := range s.nbrs[s.off[u]:s.off[u+1]] {
+					if int(v) == i {
 						// Reaching u directly as our neighbor was already
 						// seeded in INITIALIZE.
 						continue
 					}
-					cand := row[v] + cost[v*n+u]
+					cand := row[v] + t.cost[int(v)*n+u]
 					if cand < row[u] {
 						row[u] = cand
-						vrow[u] = int32(v)
+						vrow[u] = v
 						changed = true
 					}
 				}
@@ -111,33 +149,49 @@ func BellmanFord(g *Graph, epsilon float64) *Tables {
 			break
 		}
 	}
+	return t
+}
 
-	// Export to the string-keyed table API.
-	for i, id := range g.ids {
-		t := make(Table, n)
-		for j, dest := range g.ids {
-			e := Entry{Cost: cost[i*n+j]}
-			if v := via[i*n+j]; v >= 0 {
-				e.Via = g.ids[v]
+// setIDs refreshes the scratch tables' node labels from the graph, reusing
+// the previous labels and index map when they already match (the common
+// case when one scratch serves consecutive snapshots of a fixed node set).
+func (s *BellmanFordScratch) setIDs(ids []string) {
+	t := &s.t
+	t.n = len(ids)
+	same := len(t.ids) == len(ids)
+	if same {
+		for i, id := range ids {
+			if t.ids[i] != id {
+				same = false
+				break
 			}
-			t[dest] = e
 		}
-		tables.ByNode[id] = t
 	}
-	return tables
+	if same {
+		return
+	}
+	t.ids = append(t.ids[:0], ids...)
+	if t.index == nil {
+		t.index = make(map[string]int, len(ids))
+	} else {
+		clear(t.index)
+	}
+	for i, id := range t.ids {
+		t.index[id] = i
+	}
 }
 
 // Cost returns the converged cost from src to dst.
 func (t *Tables) Cost(src, dst string) (float64, error) {
-	st, ok := t.ByNode[src]
+	si, ok := t.index[src]
 	if !ok {
 		return 0, fmt.Errorf("routing: unknown source %q", src)
 	}
-	e, ok := st[dst]
+	di, ok := t.index[dst]
 	if !ok {
 		return 0, fmt.Errorf("routing: unknown destination %q", dst)
 	}
-	return e.Cost, nil
+	return t.cost[si*t.n+di], nil
 }
 
 // Path reconstructs the minimum-cost path from src to dst. Algorithm 1
@@ -147,43 +201,45 @@ func (t *Tables) Cost(src, dst string) (float64, error) {
 // resolved by the converged tables. Reconstruction therefore expands
 // waypoints recursively. Returns an error if dst is unreachable.
 func (t *Tables) Path(src, dst string) ([]string, error) {
-	if _, ok := t.ByNode[src]; !ok {
+	si, ok := t.index[src]
+	if !ok {
 		return nil, fmt.Errorf("routing: unknown source %q", src)
 	}
-	if _, ok := t.ByNode[dst]; !ok {
+	di, ok := t.index[dst]
+	if !ok {
 		return nil, fmt.Errorf("routing: unknown destination %q", dst)
 	}
-	budget := 4 * len(t.ByNode) // recursion guard
-	path, err := t.expand(src, dst, &budget)
+	budget := 4 * t.n // recursion guard
+	path, err := t.expand(si, di, &budget)
 	if err != nil {
 		return nil, err
 	}
 	return path, nil
 }
 
-func (t *Tables) expand(src, dst string, budget *int) ([]string, error) {
+func (t *Tables) expand(src, dst int, budget *int) ([]string, error) {
 	if *budget <= 0 {
 		return nil, fmt.Errorf("routing: path expansion exceeded budget (cycle in tables?)")
 	}
 	*budget--
 	if src == dst {
-		return []string{src}, nil
+		return []string{t.ids[src]}, nil
 	}
-	e := t.ByNode[src][dst]
-	if math.IsInf(e.Cost, 1) {
-		return nil, fmt.Errorf("routing: %s unreachable from %s", dst, src)
+	if math.IsInf(t.cost[src*t.n+dst], 1) {
+		return nil, fmt.Errorf("routing: %s unreachable from %s", t.ids[dst], t.ids[src])
 	}
-	if e.Via == "" {
-		return nil, fmt.Errorf("routing: missing waypoint for %s -> %s", src, dst)
+	via := t.via[src*t.n+dst]
+	if via < 0 {
+		return nil, fmt.Errorf("routing: missing waypoint for %s -> %s", t.ids[src], t.ids[dst])
 	}
-	if e.Via == dst {
-		return []string{src, dst}, nil
+	if int(via) == dst {
+		return []string{t.ids[src], t.ids[dst]}, nil
 	}
-	first, err := t.expand(src, e.Via, budget)
+	first, err := t.expand(src, int(via), budget)
 	if err != nil {
 		return nil, err
 	}
-	second, err := t.expand(e.Via, dst, budget)
+	second, err := t.expand(int(via), dst, budget)
 	if err != nil {
 		return nil, err
 	}

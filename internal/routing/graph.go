@@ -12,12 +12,28 @@ import (
 	"sort"
 )
 
+// absentEdge is the adjacency-matrix sentinel for "no edge". Valid
+// transmissivities live in [0,1], so any negative value is unambiguous.
+const absentEdge = -1
+
 // Graph is an undirected graph whose edges carry a transmissivity
 // η ∈ [0, 1]. Nodes are identified by string IDs.
+//
+// The adjacency is a dense n×n matrix backed by a single slice, sized for
+// the simulator's topology snapshots (O(100) nodes, re-evaluated at
+// thousands of instants). Reset and ResetEdges let callers reuse one Graph
+// across snapshots without reallocating; see those methods for the
+// invariants.
 type Graph struct {
 	ids   []string
 	index map[string]int
-	adj   []map[int]float64 // adj[i][j] = transmissivity of edge i-j
+	// mat[i*matN+j] holds the transmissivity of edge i-j, or absentEdge.
+	// The matrix is materialized lazily on the first edge operation and
+	// covers the first matN nodes; nodes added after that have no edges
+	// until the next edge operation re-strides it.
+	mat   []float64
+	matN  int
+	edges int
 }
 
 // NewGraph returns an empty graph.
@@ -26,7 +42,8 @@ func NewGraph() *Graph {
 }
 
 // AddNode inserts a node if not already present and returns its dense
-// index.
+// index. Indices are assigned in insertion order, so re-adding the same ID
+// sequence after Reset yields the same indices.
 func (g *Graph) AddNode(id string) int {
 	if i, ok := g.index[id]; ok {
 		return i
@@ -34,8 +51,78 @@ func (g *Graph) AddNode(id string) int {
 	i := len(g.ids)
 	g.ids = append(g.ids, id)
 	g.index[id] = i
-	g.adj = append(g.adj, make(map[int]float64))
 	return i
+}
+
+// ensureMat sizes the adjacency matrix for the current node count.
+func (g *Graph) ensureMat() {
+	n := len(g.ids)
+	if g.matN == n && g.mat != nil {
+		return
+	}
+	need := n * n
+	if g.edges > 0 && g.matN > 0 {
+		// Re-striding with live edges: build a fresh matrix and copy the
+		// old rows into place (growing in-place would alias old and new
+		// strides).
+		old, oldN := g.mat, g.matN
+		m := make([]float64, need)
+		for i := range m {
+			m[i] = absentEdge
+		}
+		for i := 0; i < oldN; i++ {
+			copy(m[i*n:i*n+oldN], old[i*oldN:(i+1)*oldN])
+		}
+		g.mat = m
+	} else {
+		if cap(g.mat) >= need {
+			g.mat = g.mat[:need]
+		} else {
+			g.mat = make([]float64, need)
+		}
+		for i := range g.mat {
+			g.mat[i] = absentEdge
+		}
+	}
+	g.matN = n
+}
+
+// Reset empties the graph (nodes and edges) while keeping the allocated
+// capacity, so a reused Graph reaches a steady state with no per-snapshot
+// allocation.
+func (g *Graph) Reset() {
+	g.ids = g.ids[:0]
+	clear(g.index)
+	g.mat = g.mat[:0]
+	g.matN = 0
+	g.edges = 0
+}
+
+// ResetEdges removes every edge while keeping the node set, re-striding the
+// matrix for nodes added since the last edge operation. This is the
+// per-snapshot reuse entry point for topologies whose node set is fixed.
+func (g *Graph) ResetEdges() {
+	n := len(g.ids)
+	need := n * n
+	if cap(g.mat) >= need {
+		g.mat = g.mat[:need]
+	} else {
+		g.mat = make([]float64, need)
+	}
+	for i := range g.mat {
+		g.mat[i] = absentEdge
+	}
+	g.matN = n
+	g.edges = 0
+}
+
+// setEdge stores eta on the undirected edge i-j; indices must be < matN.
+func (g *Graph) setEdge(i, j int, eta float64) {
+	if g.mat[i*g.matN+j] < 0 {
+		g.edges++
+	}
+	g.mat[i*g.matN+j] = eta
+	g.mat[j*g.matN+i] = eta
 }
 
 // AddEdge inserts (or updates) the undirected edge a-b with the given
@@ -48,8 +135,26 @@ func (g *Graph) AddEdge(a, b string, eta float64) error {
 		return fmt.Errorf("routing: transmissivity %g outside [0,1] for edge %s-%s", eta, a, b)
 	}
 	i, j := g.AddNode(a), g.AddNode(b)
-	g.adj[i][j] = eta
-	g.adj[j][i] = eta
+	g.ensureMat()
+	g.setEdge(i, j, eta)
+	return nil
+}
+
+// AddEdgeByIndex inserts (or updates) the undirected edge between the nodes
+// at dense indices i and j (as returned by AddNode), skipping the ID
+// lookups of AddEdge — the fast path for batched snapshot construction.
+func (g *Graph) AddEdgeByIndex(i, j int, eta float64) error {
+	if i < 0 || j < 0 || i >= len(g.ids) || j >= len(g.ids) {
+		return fmt.Errorf("routing: edge index (%d,%d) outside [0,%d)", i, j, len(g.ids))
+	}
+	if i == j {
+		return fmt.Errorf("routing: self-loop on %q", g.ids[i])
+	}
+	if eta < 0 || eta > 1 || math.IsNaN(eta) {
+		return fmt.Errorf("routing: transmissivity %g outside [0,1] for edge %s-%s", eta, g.ids[i], g.ids[j])
+	}
+	g.ensureMat()
+	g.setEdge(i, j, eta)
 	return nil
 }
 
@@ -57,24 +162,21 @@ func (g *Graph) AddEdge(a, b string, eta float64) error {
 func (g *Graph) RemoveEdge(a, b string) {
 	i, oki := g.index[a]
 	j, okj := g.index[b]
-	if !oki || !okj {
+	if !oki || !okj || i >= g.matN || j >= g.matN {
 		return
 	}
-	delete(g.adj[i], j)
-	delete(g.adj[j], i)
+	if g.mat[i*g.matN+j] >= 0 {
+		g.edges--
+	}
+	g.mat[i*g.matN+j] = absentEdge
+	g.mat[j*g.matN+i] = absentEdge
 }
 
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.ids) }
 
 // NumEdges returns the undirected edge count.
-func (g *Graph) NumEdges() int {
-	var n int
-	for _, m := range g.adj {
-		n += len(m)
-	}
-	return n / 2
-}
+func (g *Graph) NumEdges() int { return g.edges }
 
 // Nodes returns the node IDs in insertion order.
 func (g *Graph) Nodes() []string {
@@ -89,6 +191,24 @@ func (g *Graph) HasNode(id string) bool {
 	return ok
 }
 
+// IndexOf returns the dense index of id and whether it is present.
+func (g *Graph) IndexOf(id string) (int, bool) {
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// etaAt returns the transmissivity between dense indices i and j and
+// whether that edge exists.
+func (g *Graph) etaAt(i, j int) (float64, bool) {
+	if i >= g.matN || j >= g.matN {
+		return 0, false
+	}
+	if v := g.mat[i*g.matN+j]; v >= 0 {
+		return v, true
+	}
+	return 0, false
+}
+
 // Eta returns the transmissivity of edge a-b and whether the edge exists.
 func (g *Graph) Eta(a, b string) (float64, bool) {
 	i, oki := g.index[a]
@@ -96,31 +216,51 @@ func (g *Graph) Eta(a, b string) (float64, bool) {
 	if !oki || !okj {
 		return 0, false
 	}
-	eta, ok := g.adj[i][j]
-	return eta, ok
+	return g.etaAt(i, j)
+}
+
+// EachEdge calls fn for every undirected edge (i < j) in deterministic
+// index order, without allocating.
+func (g *Graph) EachEdge(fn func(i, j int, eta float64)) {
+	for i := 0; i < g.matN; i++ {
+		row := g.mat[i*g.matN : (i+1)*g.matN]
+		for j := i + 1; j < g.matN; j++ {
+			if row[j] >= 0 {
+				fn(i, j, row[j])
+			}
+		}
+	}
 }
 
 // Neighbors returns the IDs adjacent to id, sorted for determinism.
 func (g *Graph) Neighbors(id string) []string {
 	i, ok := g.index[id]
-	if !ok {
+	if !ok || i >= g.matN {
 		return nil
 	}
-	out := make([]string, 0, len(g.adj[i]))
-	for j := range g.adj[i] {
-		out = append(out, g.ids[j])
+	row := g.mat[i*g.matN : (i+1)*g.matN]
+	out := make([]string, 0, 8)
+	for j, v := range row {
+		if v >= 0 {
+			out = append(out, g.ids[j])
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// neighborIndices returns adjacent dense indices, sorted for determinism.
+// neighborIndices returns adjacent dense indices in ascending order.
 func (g *Graph) neighborIndices(i int) []int {
-	out := make([]int, 0, len(g.adj[i]))
-	for j := range g.adj[i] {
-		out = append(out, j)
+	if i >= g.matN {
+		return nil
 	}
-	sort.Ints(out)
+	row := g.mat[i*g.matN : (i+1)*g.matN]
+	var out []int
+	for j, v := range row {
+		if v >= 0 {
+			out = append(out, j)
+		}
+	}
 	return out
 }
 

@@ -8,13 +8,11 @@ func (g *Graph) Clone() *Graph {
 	for _, id := range g.ids {
 		c.AddNode(id)
 	}
-	for i := range g.adj {
-		for j, eta := range g.adj[i] {
-			if i < j {
-				c.adj[i][j] = eta
-				c.adj[j][i] = eta
-			}
-		}
+	if g.edges > 0 {
+		c.ensureMat()
+		g.EachEdge(func(i, j int, eta float64) {
+			c.setEdge(i, j, eta)
+		})
 	}
 	return c
 }
