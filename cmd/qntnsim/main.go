@@ -11,16 +11,19 @@
 //	qntnsim table3
 //	qntnsim ablations            # routing metric, convention, masks,
 //	                             # placement, turbulence, orbit design
-//	qntnsim latency|purify|qkd|night|statewide|outage|multipath|
-//	        throughput|arrivals  # extension studies (see DESIGN.md)
+//	qntnsim latency|purify|qkd|night|statewide|outage|degrade|
+//	        multipath|throughput|arrivals  # extension studies (see DESIGN.md)
 //	qntnsim params               # dump the default parameter file
 //	qntnsim all
 //
 // Global flags (before the subcommand): -seed, -steps, -requests,
 // -duration, -quick, -csvdir <dir>, -params <file>, -parallel <N>
 // (sweep worker pool size; 0 means one worker per CPU — every sweep
-// produces identical output regardless of the value), and the profiling
-// pair -cpuprofile <file> / -memprofile <file> (see `make profile`).
+// produces identical output regardless of the value), the fault-injection
+// group -fault-mtbf/-fault-mttr/-fault-seed/-weather-p (deterministic
+// platform outages and weather blackouts; see DESIGN.md "Fault injection &
+// degraded modes"), and the profiling pair -cpuprofile <file> /
+// -memprofile <file> (see `make profile`).
 package main
 
 import (
@@ -59,6 +62,41 @@ type options struct {
 	parallel   int
 	cpuProfile string
 	memProfile string
+	faultMTBF  time.Duration
+	faultMTTR  time.Duration
+	faultSeed  int64
+	weatherP   float64
+}
+
+// applyFaults overlays the fault flags onto the parameter set (after any
+// -params file, so the flags win). With no fault flags set the params are
+// returned untouched and fault-free runs stay byte-identical to the
+// baseline.
+func (o options) applyFaults(p qntn.Params) (qntn.Params, error) {
+	if o.faultMTBF < 0 || o.faultMTTR < 0 {
+		return p, fmt.Errorf("-fault-mtbf and -fault-mttr must be positive durations")
+	}
+	if o.faultMTBF == 0 && o.weatherP == 0 && o.faultSeed == 0 {
+		return p, nil
+	}
+	if o.faultMTBF > 0 {
+		mttr := o.faultMTTR
+		if mttr <= 0 {
+			mttr = 10 * time.Minute
+		}
+		p.Fault.SatMTBF, p.Fault.SatMTTR = o.faultMTBF, mttr
+		p.Fault.HAPMTBF, p.Fault.HAPMTTR = o.faultMTBF, mttr
+	}
+	if o.weatherP != 0 {
+		p.Fault.WeatherP = o.weatherP
+	}
+	if o.faultSeed != 0 {
+		p.Fault.Seed = o.faultSeed
+	}
+	if err := p.Fault.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
 }
 
 // writeCSV writes one experiment's CSV file into the -csvdir directory (a
@@ -96,8 +134,12 @@ func run(args []string, w io.Writer) (err error) {
 	fs.IntVar(&opt.parallel, "parallel", 0, "sweep worker pool size (0 = one worker per CPU); results are identical at any value")
 	fs.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile to this file when the run finishes")
+	fs.DurationVar(&opt.faultMTBF, "fault-mtbf", 0, "inject platform outages: mean time between failures for satellites and HAPs (0 = no outages)")
+	fs.DurationVar(&opt.faultMTTR, "fault-mttr", 0, "mean time to repair for injected outages (default 10m when -fault-mtbf is set)")
+	fs.Int64Var(&opt.faultSeed, "fault-seed", 0, "fault schedule random seed (0 keeps the params file's seed)")
+	fs.Float64Var(&opt.weatherP, "weather-p", 0, "long-run fraction of time a regional weather blackout affects ground FSO links, in [0,1)")
 	fs.Usage = func() {
-		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|multipath|throughput|arrivals|params|all")
+		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +206,10 @@ func run(args []string, w io.Writer) (err error) {
 			return cerr
 		}
 	}
+	params, err = opt.applyFaults(params)
+	if err != nil {
+		return err
+	}
 	serveCfg := qntn.ServeConfig{
 		RequestsPerStep: opt.requests,
 		Steps:           opt.steps,
@@ -196,6 +242,8 @@ func run(args []string, w io.Writer) (err error) {
 		return runStatewide(w, params, serveCfg, opt.duration, opt.parallel)
 	case "outage":
 		return runOutage(w, params, serveCfg, opt.duration)
+	case "degrade":
+		return runDegrade(w, params, serveCfg, opt)
 	case "multipath":
 		return runMultipath(w, params, serveCfg, opt.parallel)
 	case "throughput":
@@ -216,6 +264,7 @@ func run(args []string, w io.Writer) (err error) {
 			func() error { return runNight(w, params, serveCfg, opt.duration, opt) },
 			func() error { return runStatewide(w, params, serveCfg, opt.duration, opt.parallel) },
 			func() error { return runOutage(w, params, serveCfg, opt.duration) },
+			func() error { return runDegrade(w, params, serveCfg, opt) },
 			func() error { return runMultipath(w, params, serveCfg, opt.parallel) },
 			func() error { return runThroughput(w, params, serveCfg) },
 			func() error { return runArrivals(w, params, opt.duration, opt.seed) },
@@ -632,6 +681,39 @@ func runOutage(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, duration time.D
 	}
 	return experiments.RenderTable(w, "Extension — HAP outage sensitivity (air-ground)",
 		[]string{"outage prob/step", "coverage", "served", "intervals"}, cells)
+}
+
+func runDegrade(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, opt options) error {
+	sizes := []int{6, 24, 54, 108}
+	levels := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if opt.quick {
+		sizes = []int{6, 24}
+		levels = []float64{0, 0.2}
+	}
+	rows, err := experiments.DegradationStudyParallel(p, cfg, opt.duration, sizes, levels, opt.parallel)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("degrade.csv", func(f io.Writer) error { return experiments.DegradationCSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		sats := "—"
+		if r.Satellites > 0 {
+			sats = strconv.Itoa(r.Satellites)
+		}
+		cells[i] = []string{
+			r.Architecture, sats,
+			fmt.Sprintf("%.0f%%", 100*r.Unavailability),
+			experiments.FormatPercent(r.CoveragePercent),
+			strconv.Itoa(r.Intervals),
+			experiments.FormatPercent(r.ServedPercent),
+			fmt.Sprintf("%.4f", r.MeanFidelity),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — graceful degradation under injected faults (platform outages + weather)",
+		[]string{"architecture", "satellites", "unavailability", "coverage", "intervals", "served", "fidelity"}, cells)
 }
 
 func runMultipath(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, parallel int) error {

@@ -164,6 +164,67 @@ func TestRunOutageQuick(t *testing.T) {
 	}
 }
 
+func TestRunDegradeQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "degrade"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graceful degradation", "unavailability", "space-ground", "air-ground", "20%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("degrade output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDegradeCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-quick", "-csvdir", dir, "degrade"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "degrade.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "architecture,satellites,unavailability,") {
+		t.Fatalf("degrade.csv header wrong:\n%s", data)
+	}
+}
+
+// TestRunFaultFlags drives a whole experiment through the fault flags: the
+// faulted run must succeed and differ from the fault-free baseline, and
+// the same flags must reproduce the same output.
+func TestRunFaultFlags(t *testing.T) {
+	var clean, faulted, again strings.Builder
+	if err := run([]string{"-quick", "table3"}, &clean); err != nil {
+		t.Fatal(err)
+	}
+	faultArgs := []string{"-quick", "-fault-mtbf", "1h", "-fault-mttr", "30m", "-weather-p", "0.3", "-fault-seed", "5", "table3"}
+	if err := run(faultArgs, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if clean.String() == faulted.String() {
+		t.Fatal("fault flags changed nothing about table3")
+	}
+	if err := run(faultArgs, &again); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.String() != again.String() {
+		t.Fatal("fault-injected run is not reproducible")
+	}
+}
+
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-weather-p", "1.5", "table3"}, &b); err == nil {
+		t.Fatal("out-of-range -weather-p accepted")
+	}
+	if err := run([]string{"-fault-mtbf", "-1h", "-quick", "table3"}, &b); err == nil {
+		t.Fatal("negative -fault-mtbf accepted")
+	}
+}
+
 func TestRunMultipathQuick(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-quick", "multipath"}, &b); err != nil {

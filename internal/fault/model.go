@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"qntn/internal/netsim"
+)
+
+// Model decorates a link model with a fault schedule: links touching a
+// failed platform vanish, and ground↔relay FSO links are attenuated (or
+// severed) during weather blackouts. The per-pair Evaluate is the reference
+// semantics; BeginStep batches the schedule lookups once per instant and
+// delegates to the inner model's own step evaluator when it has one, so the
+// decorated model keeps the underlying fast path (per-node caches,
+// prefilters, arena reuse) intact.
+type Model struct {
+	inner netsim.LinkModel
+	sched *Schedule
+	// minEta re-gates an attenuated link against the scenario's
+	// transmissivity threshold, mirroring the inner model's own gate.
+	minEta float64
+	pool   sync.Pool
+}
+
+// NewModel wraps inner with the schedule. minEta is the transmissivity
+// threshold attenuated links are re-gated against (pass the scenario's
+// gating threshold; zero keeps any positive attenuated link).
+func NewModel(inner netsim.LinkModel, sched *Schedule, minEta float64) *Model {
+	return &Model{inner: inner, sched: sched, minEta: minEta}
+}
+
+// Inner returns the decorated model.
+func (m *Model) Inner() netsim.LinkModel { return m.inner }
+
+// Schedule returns the fault schedule.
+func (m *Model) Schedule() *Schedule { return m.sched }
+
+// crossesWeather reports whether a link between the two kinds traverses the
+// lower atmosphere: exactly one endpoint on the ground. Fiber (both ground)
+// and space-space links are weather-immune.
+func crossesWeather(ka, kb netsim.NodeKind) bool {
+	return (ka == netsim.Ground) != (kb == netsim.Ground)
+}
+
+// applyWeather attenuates eta during a blackout and re-gates it. The second
+// return is false when the blackout severs the link.
+func (m *Model) applyWeather(eta float64) (float64, bool) {
+	eta *= m.sched.cfg.WeatherAttenuation
+	if eta <= 0 || eta < m.minEta {
+		return 0, false
+	}
+	return eta, true
+}
+
+// Evaluate implements netsim.LinkModel.
+func (m *Model) Evaluate(a, b netsim.Node, t time.Duration) (float64, bool) {
+	if m.sched.Down(a.ID(), t) || m.sched.Down(b.ID(), t) {
+		return 0, false
+	}
+	eta, ok := m.inner.Evaluate(a, b, t)
+	if !ok {
+		return 0, false
+	}
+	if m.sched.Weather(t) && crossesWeather(a.Kind(), b.Kind()) {
+		return m.applyWeather(eta)
+	}
+	return eta, true
+}
+
+// BeginStep implements netsim.StepModel: per-node down bits and the weather
+// bit are resolved once per instant, then pair queries run against the
+// inner model's evaluator (its batched one when available).
+func (m *Model) BeginStep(nodes []netsim.Node, t time.Duration) netsim.StepEvaluator {
+	se, _ := m.pool.Get().(*stepEval)
+	if se == nil {
+		se = &stepEval{m: m}
+	}
+	if !se.sameNodes(nodes) {
+		se.init(nodes)
+	}
+	se.t = t
+	for i := range se.nodes {
+		se.down[i] = spanAt(se.spans[i], t)
+	}
+	se.weather = m.sched.Weather(t)
+	if sm, ok := m.inner.(netsim.StepModel); ok {
+		se.inner = sm.BeginStep(nodes, t)
+	}
+	return se
+}
+
+// stepEval is the decorator's per-instant evaluator: static per-node span
+// lists and ground flags survive across steps (the node set is fixed for a
+// scenario's lifetime), only the down/weather bits refresh each instant.
+type stepEval struct {
+	m     *Model
+	nodes []netsim.Node
+
+	// Static while the node set is unchanged.
+	spans  [][]Span // per-node downtime (nil for never-failing nodes)
+	ground []bool
+
+	// Per-step.
+	t       time.Duration
+	down    []bool
+	weather bool
+	inner   netsim.StepEvaluator // nil when the inner model is per-pair only
+}
+
+// sameNodes reports whether the static caches were built for exactly this
+// node slice (node identity, not just IDs).
+func (se *stepEval) sameNodes(nodes []netsim.Node) bool {
+	if len(se.nodes) != len(nodes) {
+		return false
+	}
+	for i, n := range nodes {
+		if se.nodes[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// init rebuilds the static per-node caches.
+func (se *stepEval) init(nodes []netsim.Node) {
+	n := len(nodes)
+	se.nodes = append(se.nodes[:0], nodes...)
+	se.spans = growSpans(se.spans, n)
+	se.ground = growBools(se.ground, n)
+	se.down = growBools(se.down, n)
+	for i, node := range nodes {
+		se.spans[i] = se.m.sched.down[node.ID()]
+		se.ground[i] = node.Kind() == netsim.Ground
+	}
+}
+
+func growSpans(s [][]Span, n int) [][]Span {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([][]Span, n)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+// EvaluatePair implements netsim.StepEvaluator, mirroring Model.Evaluate
+// exactly: down gate, inner physics, then the weather gate.
+func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
+	if se.down[i] || se.down[j] {
+		return 0, false
+	}
+	var eta float64
+	var ok bool
+	if se.inner != nil {
+		eta, ok = se.inner.EvaluatePair(i, j)
+	} else {
+		eta, ok = se.m.inner.Evaluate(se.nodes[i], se.nodes[j], se.t)
+	}
+	if !ok {
+		return 0, false
+	}
+	if se.weather && se.ground[i] != se.ground[j] {
+		return se.m.applyWeather(eta)
+	}
+	return eta, true
+}
+
+// Close implements netsim.StepEvaluator, releasing the inner evaluator and
+// returning this one to the model's pool.
+func (se *stepEval) Close() {
+	if se.inner != nil {
+		se.inner.Close()
+		se.inner = nil
+	}
+	se.m.pool.Put(se)
+}

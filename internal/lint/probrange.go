@@ -20,8 +20,10 @@ var probWords = map[string]bool{
 var probExcludeWords = map[string]bool{"percent": true, "db": true}
 
 // nanGuardPackages are the numeric hot-path packages (matched on the final
-// import-path element) where Sqrt/Log results must be NaN-guarded.
-var nanGuardPackages = map[string]bool{"channel": true, "quantum": true}
+// import-path element) where Sqrt/Log results must be NaN-guarded. stats
+// joined the list when Summarize/Percentile learned to propagate NaN
+// explicitly instead of corrupting silently.
+var nanGuardPackages = map[string]bool{"channel": true, "quantum": true, "stats": true}
 
 // nanSources are the math functions whose result is NaN for out-of-domain
 // inputs.

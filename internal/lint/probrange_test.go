@@ -8,5 +8,5 @@ import (
 )
 
 func TestProbRange(t *testing.T) {
-	linttest.Run(t, "testdata", lint.ProbRange, "probrange/channel", "probrange/quantum")
+	linttest.Run(t, "testdata", lint.ProbRange, "probrange/channel", "probrange/quantum", "probrange/stats")
 }

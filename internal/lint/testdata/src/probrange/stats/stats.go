@@ -1,0 +1,28 @@
+// Package stats is probrange testdata: the NaN-guard convention covers the
+// descriptive-statistics helpers, where a NaN folded into an aggregate
+// corrupts silently (no ordering holds, so mins stick at +Inf).
+package stats
+
+import "math"
+
+// BadRMS feeds a parameter straight into math.Sqrt with no domain guard: a
+// NaN or negative mean square propagates as NaN.
+func BadRMS(meanSquare float64) float64 {
+	return math.Sqrt(meanSquare) // want `math\.Sqrt on parameter "meanSquare" in BadRMS without a NaN guard`
+}
+
+// GoodRMS detects NaN and propagates it explicitly.
+func GoodRMS(meanSquare float64) float64 {
+	if math.IsNaN(meanSquare) || meanSquare < 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(meanSquare)
+}
+
+// BadGeoMean takes a log of an unguarded parameter.
+func BadGeoMean(product float64, n int) float64 {
+	return math.Exp(math.Log(product) / float64(n)) // want `math\.Log on parameter "product" in BadGeoMean without a NaN guard`
+}
+
+// sampleStd is unexported: callers inside the package own the domain.
+func sampleStd(ss float64) float64 { return math.Sqrt(ss) }

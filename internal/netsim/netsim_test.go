@@ -265,6 +265,74 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestMetricsTable drives the aggregate accessors through the degenerate
+// shapes experiment code hits in practice: no outcomes at all, a window
+// where nothing was served, and mixes.
+func TestMetricsTable(t *testing.T) {
+	served := func(f float64) Outcome { return Outcome{Served: true, Fidelity: f} }
+	unserved := Outcome{}
+	cases := []struct {
+		name         string
+		outcomes     []Outcome
+		wantFraction float64
+		wantFidelity float64
+	}{
+		{"empty", nil, 0, 0},
+		{"all unserved", []Outcome{unserved, unserved, unserved}, 0, 0},
+		{"all served", []Outcome{served(0.9), served(0.7)}, 1, 0.8},
+		{"half served", []Outcome{served(1), unserved, served(0.5), unserved}, 0.5, 0.75},
+		{"single unserved", []Outcome{unserved}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Metrics
+			for _, o := range tc.outcomes {
+				m.Record(o)
+			}
+			if got := m.ServedFraction(); math.Abs(got-tc.wantFraction) > 1e-12 {
+				t.Errorf("ServedFraction = %g, want %g", got, tc.wantFraction)
+			}
+			if got := m.MeanServedFidelity(); math.Abs(got-tc.wantFidelity) > 1e-12 {
+				t.Errorf("MeanServedFidelity = %g, want %g", got, tc.wantFidelity)
+			}
+		})
+	}
+}
+
+// TestSetModelAndBeginStep covers the decorator hook: SetModel swaps the
+// link model after assembly, and BeginStep adapts a plain LinkModel to the
+// step-evaluator interface with per-pair semantics.
+func TestSetModelAndBeginStep(t *testing.T) {
+	always := LinkModelFunc(func(a, b Node, t time.Duration) (float64, bool) { return 0.9, true })
+	never := LinkModelFunc(func(a, b Node, t time.Duration) (float64, bool) { return 0, false })
+	n := NewNetwork(always)
+	for _, nd := range []Node{
+		NewGroundHost("A", "X", geo.LLA{LatDeg: 36, LonDeg: -85}),
+		NewGroundHost("B", "X", geo.LLA{LatDeg: 36.1, LonDeg: -85}),
+	} {
+		if err := n.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := n.BeginStep(0)
+	if eta, ok := ev.EvaluatePair(0, 1); !ok || eta != 0.9 {
+		t.Fatalf("adapter pair = (%g, %v), want (0.9, true)", eta, ok)
+	}
+	ev.Close()
+
+	n.SetModel(never)
+	if _, ok := n.Model().Evaluate(n.Node("A"), n.Node("B"), 0); ok {
+		t.Fatal("SetModel did not swap the model")
+	}
+	g, err := n.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("snapshot through swapped model has %d edges, want 0", g.NumEdges())
+	}
+}
+
 func TestSnapshotIntoReuseAndNodeSetChange(t *testing.T) {
 	// Time-varying model: the A-B edge exists only at t=0, so a reused
 	// graph must drop it at the next step.

@@ -77,6 +77,39 @@ func (n *Network) Add(node Node) error {
 // Node returns the node with the given ID, or nil.
 func (n *Network) Node(id string) Node { return n.byID[id] }
 
+// Model returns the network's link model.
+func (n *Network) Model() LinkModel { return n.model }
+
+// SetModel replaces the network's link model — the hook a decorator (e.g. a
+// fault injector built over the final node set) uses after assembly. Not
+// safe to call concurrently with snapshots.
+func (n *Network) SetModel(model LinkModel) { n.model = model }
+
+// BeginStep returns a step evaluator over the network's nodes (in insertion
+// order) at instant t: the model's batched evaluator when it implements
+// StepModel, otherwise a per-pair adapter with identical semantics.
+func (n *Network) BeginStep(t time.Duration) StepEvaluator {
+	if sm, ok := n.model.(StepModel); ok {
+		return sm.BeginStep(n.nodes, t)
+	}
+	return &pairStepEval{nodes: n.nodes, model: n.model, t: t}
+}
+
+// pairStepEval adapts a plain LinkModel to the StepEvaluator interface.
+type pairStepEval struct {
+	nodes []Node
+	model LinkModel
+	t     time.Duration
+}
+
+// EvaluatePair implements StepEvaluator.
+func (pe *pairStepEval) EvaluatePair(i, j int) (float64, bool) {
+	return pe.model.Evaluate(pe.nodes[i], pe.nodes[j], pe.t)
+}
+
+// Close implements StepEvaluator.
+func (pe *pairStepEval) Close() {}
+
 // Nodes returns the nodes in insertion order.
 func (n *Network) Nodes() []Node {
 	out := make([]Node, len(n.nodes))
@@ -124,30 +157,18 @@ func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
 		}
 	}
 	g.ResetEdges()
-	if sm, ok := n.model.(StepModel); ok {
-		ev := sm.BeginStep(n.nodes, t)
-		for i := 0; i < len(n.nodes); i++ {
-			for j := i + 1; j < len(n.nodes); j++ {
-				if eta, ok := ev.EvaluatePair(i, j); ok {
-					if err := g.AddEdgeByIndex(i, j, eta); err != nil {
-						ev.Close()
-						return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
-					}
-				}
-			}
-		}
-		ev.Close()
-		return nil
-	}
+	ev := n.BeginStep(t)
 	for i := 0; i < len(n.nodes); i++ {
 		for j := i + 1; j < len(n.nodes); j++ {
-			if eta, ok := n.model.Evaluate(n.nodes[i], n.nodes[j], t); ok {
+			if eta, ok := ev.EvaluatePair(i, j); ok {
 				if err := g.AddEdgeByIndex(i, j, eta); err != nil {
+					ev.Close()
 					return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
 				}
 			}
 		}
 	}
+	ev.Close()
 	return nil
 }
 

@@ -7,39 +7,58 @@ import (
 	"time"
 
 	"qntn/internal/atmosphere"
+	"qntn/internal/fault"
 )
 
 // paramsJSON is the serialized form of Params: durations in seconds,
 // enums as strings, turbulence optional.
 type paramsJSON struct {
-	WavelengthNM            float64 `json:"wavelength_nm"`
-	GroundApertureRadiusM   float64 `json:"ground_aperture_radius_m"`
-	HAPApertureRadiusM      float64 `json:"hap_aperture_radius_m"`
-	SpaceBeamWaistM         float64 `json:"space_beam_waist_m"`
-	HAPBeamWaistM           float64 `json:"hap_beam_waist_m"`
-	ReceiverEfficiency      float64 `json:"receiver_efficiency"`
-	ZenithOpticalDepth      float64 `json:"zenith_optical_depth"`
-	Turbulence              *hvJSON `json:"turbulence,omitempty"`
-	PointingJitterRad       float64 `json:"pointing_jitter_rad"`
-	FiberAttenuationDBPerKm float64 `json:"fiber_attenuation_db_per_km"`
-	TransmissivityThreshold float64 `json:"transmissivity_threshold"`
-	MinElevationDeg         float64 `json:"min_elevation_deg"`
-	ISLClearanceAltM        float64 `json:"isl_clearance_alt_m"`
-	SatelliteAltitudeKM     float64 `json:"satellite_altitude_km"`
-	InclinationDeg          float64 `json:"inclination_deg"`
-	UseJ2                   bool    `json:"use_j2"`
-	HAPLatDeg               float64 `json:"hap_lat_deg"`
-	HAPLonDeg               float64 `json:"hap_lon_deg"`
-	HAPAltKM                float64 `json:"hap_alt_km"`
-	StepIntervalS           float64 `json:"step_interval_s"`
-	MemoryT2S               float64 `json:"memory_t2_s"`
-	ProcessingDelayPerHopS  float64 `json:"processing_delay_per_hop_s"`
-	RequireDarkness         bool    `json:"require_darkness"`
-	TwilightDeg             float64 `json:"twilight_deg"`
-	HAPOutageProbability    float64 `json:"hap_outage_probability"`
-	OutageSeed              int64   `json:"outage_seed"`
-	FidelityModel           string  `json:"fidelity_model"`
-	RoutingEpsilon          float64 `json:"routing_epsilon"`
+	WavelengthNM            float64    `json:"wavelength_nm"`
+	GroundApertureRadiusM   float64    `json:"ground_aperture_radius_m"`
+	HAPApertureRadiusM      float64    `json:"hap_aperture_radius_m"`
+	SpaceBeamWaistM         float64    `json:"space_beam_waist_m"`
+	HAPBeamWaistM           float64    `json:"hap_beam_waist_m"`
+	ReceiverEfficiency      float64    `json:"receiver_efficiency"`
+	ZenithOpticalDepth      float64    `json:"zenith_optical_depth"`
+	Turbulence              *hvJSON    `json:"turbulence,omitempty"`
+	PointingJitterRad       float64    `json:"pointing_jitter_rad"`
+	FiberAttenuationDBPerKm float64    `json:"fiber_attenuation_db_per_km"`
+	TransmissivityThreshold float64    `json:"transmissivity_threshold"`
+	MinElevationDeg         float64    `json:"min_elevation_deg"`
+	ISLClearanceAltM        float64    `json:"isl_clearance_alt_m"`
+	SatelliteAltitudeKM     float64    `json:"satellite_altitude_km"`
+	InclinationDeg          float64    `json:"inclination_deg"`
+	UseJ2                   bool       `json:"use_j2"`
+	HAPLatDeg               float64    `json:"hap_lat_deg"`
+	HAPLonDeg               float64    `json:"hap_lon_deg"`
+	HAPAltKM                float64    `json:"hap_alt_km"`
+	StepIntervalS           float64    `json:"step_interval_s"`
+	MemoryT2S               float64    `json:"memory_t2_s"`
+	ProcessingDelayPerHopS  float64    `json:"processing_delay_per_hop_s"`
+	RequireDarkness         bool       `json:"require_darkness"`
+	TwilightDeg             float64    `json:"twilight_deg"`
+	HAPOutageProbability    float64    `json:"hap_outage_probability"`
+	OutageSeed              int64      `json:"outage_seed"`
+	Fault                   *faultJSON `json:"fault,omitempty"`
+	FidelityModel           string     `json:"fidelity_model"`
+	RoutingEpsilon          float64    `json:"routing_epsilon"`
+}
+
+// faultJSON is the serialized form of fault.Config: durations in seconds.
+// It is emitted only when the config is non-zero, so fault-free parameter
+// files are byte-identical to the pre-fault format.
+type faultJSON struct {
+	SatMTBFS           float64 `json:"sat_mtbf_s"`
+	SatMTTRS           float64 `json:"sat_mttr_s"`
+	HAPMTBFS           float64 `json:"hap_mtbf_s"`
+	HAPMTTRS           float64 `json:"hap_mttr_s"`
+	GroundMTBFS        float64 `json:"ground_mtbf_s"`
+	GroundMTTRS        float64 `json:"ground_mttr_s"`
+	WeatherP           float64 `json:"weather_p"`
+	WeatherMeanS       float64 `json:"weather_mean_s"`
+	WeatherAttenuation float64 `json:"weather_attenuation"`
+	Seed               int64   `json:"seed"`
+	HorizonS           float64 `json:"horizon_s"`
 }
 
 type hvJSON struct {
@@ -96,6 +115,11 @@ const (
 	degPerRad = 180 / 3.141592653589793
 )
 
+// secsToDuration converts a seconds value from a JSON file to a Duration.
+func secsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
 // SaveParams serializes p as indented JSON.
 func SaveParams(w io.Writer, p Params) error {
 	j := paramsJSON{
@@ -132,6 +156,21 @@ func SaveParams(w io.Writer, p Params) error {
 			WindSpeedMS: p.Turbulence.WindSpeedMS,
 			GroundCn2:   p.Turbulence.GroundCn2,
 			Scale:       p.Turbulence.Scale,
+		}
+	}
+	if p.Fault != (fault.Config{}) {
+		j.Fault = &faultJSON{
+			SatMTBFS:           p.Fault.SatMTBF.Seconds(),
+			SatMTTRS:           p.Fault.SatMTTR.Seconds(),
+			HAPMTBFS:           p.Fault.HAPMTBF.Seconds(),
+			HAPMTTRS:           p.Fault.HAPMTTR.Seconds(),
+			GroundMTBFS:        p.Fault.GroundMTBF.Seconds(),
+			GroundMTTRS:        p.Fault.GroundMTTR.Seconds(),
+			WeatherP:           p.Fault.WeatherP,
+			WeatherMeanS:       p.Fault.WeatherMeanDuration.Seconds(),
+			WeatherAttenuation: p.Fault.WeatherAttenuation,
+			Seed:               p.Fault.Seed,
+			HorizonS:           p.Fault.Horizon.Seconds(),
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -189,6 +228,21 @@ func LoadParams(r io.Reader) (Params, error) {
 			WindSpeedMS: j.Turbulence.WindSpeedMS,
 			GroundCn2:   j.Turbulence.GroundCn2,
 			Scale:       j.Turbulence.Scale,
+		}
+	}
+	if j.Fault != nil {
+		p.Fault = fault.Config{
+			SatMTBF:             secsToDuration(j.Fault.SatMTBFS),
+			SatMTTR:             secsToDuration(j.Fault.SatMTTRS),
+			HAPMTBF:             secsToDuration(j.Fault.HAPMTBFS),
+			HAPMTTR:             secsToDuration(j.Fault.HAPMTTRS),
+			GroundMTBF:          secsToDuration(j.Fault.GroundMTBFS),
+			GroundMTTR:          secsToDuration(j.Fault.GroundMTTRS),
+			WeatherP:            j.Fault.WeatherP,
+			WeatherMeanDuration: secsToDuration(j.Fault.WeatherMeanS),
+			WeatherAttenuation:  j.Fault.WeatherAttenuation,
+			Seed:                j.Fault.Seed,
+			Horizon:             secsToDuration(j.Fault.HorizonS),
 		}
 	}
 	if err := p.Validate(); err != nil {

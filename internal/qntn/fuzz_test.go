@@ -83,6 +83,25 @@ func paramsSemanticallyEqual(t *testing.T, a, b Params) {
 					}
 				}
 			}
+		case fa.Kind() == reflect.Struct: // fault.Config
+			for j := 0; j < fa.NumField(); j++ {
+				sa, sb := fa.Field(j), fb.Field(j)
+				sname := name + "." + fa.Type().Field(j).Name
+				switch {
+				case sa.Kind() == reflect.Float64:
+					if !approxEq(sa.Float(), sb.Float()) {
+						t.Errorf("%s: %v != %v after round trip", sname, sa.Float(), sb.Float())
+					}
+				case sa.Type() == durationType:
+					if d := sa.Int() - sb.Int(); d < -2 || d > 2 {
+						t.Errorf("%s: %v != %v after round trip", sname, time.Duration(sa.Int()), time.Duration(sb.Int()))
+					}
+				default:
+					if sa.Interface() != sb.Interface() {
+						t.Errorf("%s: %v != %v after round trip", sname, sa.Interface(), sb.Interface())
+					}
+				}
+			}
 		default: // bool, int64 seed, FidelityModel enum
 			if fa.Interface() != fb.Interface() {
 				t.Errorf("%s: %v != %v after round trip", name, fa.Interface(), fb.Interface())

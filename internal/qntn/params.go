@@ -14,6 +14,7 @@ import (
 	"qntn/internal/astro"
 	"qntn/internal/atmosphere"
 	"qntn/internal/channel"
+	"qntn/internal/fault"
 )
 
 // Params collects every tunable of the study. DefaultParams matches the
@@ -96,6 +97,14 @@ type Params struct {
 	HAPOutageProbability float64
 	// OutageSeed varies the deterministic outage pattern.
 	OutageSeed int64
+
+	// Fault configures the deterministic fault-injection layer: satellite
+	// outages, HAP station-keeping gaps, ground-station downtime and
+	// weather blackouts, precomputed from Fault.Seed into an immutable
+	// schedule (see internal/fault). The zero value — the paper's ideal
+	// assumption — leaves the scenario's link model undecorated, so
+	// fault-free runs are byte-identical to the baseline.
+	Fault fault.Config
 
 	// RequireDarkness, when true, gates every ground↔relay FSO link on
 	// the ground station being dark (Sun below TwilightRad under the
@@ -208,6 +217,9 @@ func (p Params) Validate() error {
 		return fmt.Errorf("qntn: twilight angle %g outside [0, π/2)", p.TwilightRad)
 	case p.HAPOutageProbability < 0 || p.HAPOutageProbability > 1:
 		return fmt.Errorf("qntn: HAP outage probability %g outside [0,1]", p.HAPOutageProbability)
+	}
+	if err := p.Fault.Validate(); err != nil {
+		return fmt.Errorf("qntn: %w", err)
 	}
 	return nil
 }

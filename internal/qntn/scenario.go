@@ -7,6 +7,7 @@ import (
 
 	"qntn/internal/astro"
 	"qntn/internal/channel"
+	"qntn/internal/fault"
 	"qntn/internal/geo"
 	"qntn/internal/netsim"
 	"qntn/internal/orbit"
@@ -212,17 +213,29 @@ func assembleTrusted(arch Architecture, p Params, lans []LocalNetwork, relays []
 		sc.RelayIDs = append(sc.RelayIDs, r.ID())
 		sc.relays = append(sc.relays, r)
 	}
+	// The fault decorator needs the final node set to precompute per-node
+	// schedules, so it wraps the model after assembly. A disabled config
+	// installs nothing, keeping fault-free runs byte-identical to the
+	// baseline.
+	if p.Fault.Enabled() {
+		sched, err := fault.NewSchedule(p.Fault, sc.Net.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		sc.Net.SetModel(fault.NewModel(scenarioModel{sc}, sched, p.TransmissivityThreshold))
+	}
 	return sc, nil
 }
 
-// EvaluateLink exposes the scenario's link physics for a node pair at time
-// t. Unknown IDs yield no link.
+// EvaluateLink exposes the scenario's link model for a node pair at time
+// t — through the network's installed model, so fault decoration applies
+// here exactly as it does to snapshots. Unknown IDs yield no link.
 func (sc *Scenario) EvaluateLink(aID, bID string, t time.Duration) (float64, bool) {
 	a, b := sc.Net.Node(aID), sc.Net.Node(bID)
 	if a == nil || b == nil || aID == bID {
 		return 0, false
 	}
-	return sc.evaluateLink(a, b, t)
+	return sc.Net.Model().Evaluate(a, b, t)
 }
 
 // evaluateLink implements the link physics + gating for every node-pair

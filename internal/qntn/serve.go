@@ -88,10 +88,11 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 	res := &ServeResult{Config: cfg}
 	wl := NewWorkload(sc, cfg.Seed)
 
-	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
-	if stepGap <= 0 {
-		stepGap = sc.Params.StepInterval
-	}
+	// sampleTimes is the single source of truth for the instants this run
+	// evaluates — sweeps precompute the same list to propagate ephemerides
+	// exactly there, so duplicating its stepGap fallback here would let the
+	// two drift apart.
+	times := cfg.sampleTimes(sc.Params)
 
 	// One graph and one Bellman-Ford scratch serve every step: the node
 	// set is fixed, so per-step work reuses their storage.
@@ -99,8 +100,7 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 	var scratch routing.BellmanFordScratch
 
 	var fids, etas []float64
-	for step := 0; step < cfg.Steps; step++ {
-		at := time.Duration(step) * stepGap
+	for step, at := range times {
 		if err := sc.GraphInto(graph, at); err != nil {
 			return nil, err
 		}

@@ -147,6 +147,52 @@ func TestServeRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestRunServeEvaluatesSampleTimes is the regression test for the
+// duplicated stepGap fallback: RunServe must evaluate exactly the instants
+// cfg.sampleTimes reports — the list sweeps use to pre-propagate
+// ephemerides — including the degenerate tiny-horizon case where the
+// integer division Horizon/Steps collapses to zero and the StepInterval
+// fallback kicks in.
+func TestRunServeEvaluatesSampleTimes(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  ServeConfig
+	}{
+		{"paper-shaped", ServeConfig{RequestsPerStep: 3, Steps: 7, Horizon: 5 * time.Hour, Seed: 1}},
+		{"default horizon", ServeConfig{RequestsPerStep: 2, Steps: 4, Seed: 1}},
+		{"tiny horizon", ServeConfig{RequestsPerStep: 2, Steps: 5, Horizon: 3 * time.Nanosecond, Seed: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.cfg.sampleTimes(sc.Params)
+			if len(want) != tc.cfg.Steps {
+				t.Fatalf("sampleTimes produced %d instants, want %d", len(want), tc.cfg.Steps)
+			}
+			res, err := sc.RunServe(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(res.Metrics.Outcomes); got != tc.cfg.Steps*tc.cfg.RequestsPerStep {
+				t.Fatalf("%d outcomes, want %d", got, tc.cfg.Steps*tc.cfg.RequestsPerStep)
+			}
+			for k, o := range res.Metrics.Outcomes {
+				if at := want[k/tc.cfg.RequestsPerStep]; o.At != at {
+					t.Fatalf("outcome %d evaluated at %v, sampleTimes says %v", k, o.At, at)
+				}
+			}
+		})
+	}
+	// The tiny-horizon fallback must actually spread the steps out.
+	tiny := ServeConfig{RequestsPerStep: 1, Steps: 5, Horizon: 3 * time.Nanosecond}.sampleTimes(sc.Params)
+	if tiny[1] != sc.Params.StepInterval {
+		t.Errorf("degenerate stepGap fallback gave %v, want StepInterval %v", tiny[1], sc.Params.StepInterval)
+	}
+}
+
 func TestDefaultServeConfigMatchesPaper(t *testing.T) {
 	cfg := DefaultServeConfig()
 	if cfg.RequestsPerStep != 100 || cfg.Steps != 100 {

@@ -112,9 +112,11 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 
 		for _, at := range times[lo:hi] {
 			// Phase 1: evaluate physics once for the largest constellation,
-			// through a per-worker step evaluator so positions, geodetic
-			// conversions and darkness are computed once per instant.
-			ev := sc.beginStep(nodes, at)
+			// through the network's step evaluator (one per worker) so
+			// positions, geodetic conversions and darkness are computed once
+			// per instant — and fault decoration, when installed, applies
+			// here exactly as in snapshots.
+			ev := sc.Net.BeginStep(at)
 			for si, sat := range satIdx {
 				islNbr[si] = islNbr[si][:0]
 				for li := range lanHosts {

@@ -67,6 +67,11 @@ func (sc *Scenario) WaitingTimes(cfg WaitingConfig) (*WaitingResult, error) {
 	for _, p := range detail.Pairs {
 		pairs = append(pairs, [2]string{p.NetworkA, p.NetworkB})
 	}
+	// A scenario with fewer than two LANs yields no pairs; drawing an
+	// arrival's pair would panic with rand.Intn(0).
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("qntn: waiting experiment needs at least one LAN pair, scenario has %d local network(s)", len(sc.LANs))
+	}
 
 	var waits []float64
 	immediate, served := 0, 0

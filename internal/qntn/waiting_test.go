@@ -1,6 +1,7 @@
 package qntn
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -44,6 +45,59 @@ func TestWaitingTimesSpaceGround(t *testing.T) {
 	}
 	if res.MedianWait > res.P95Wait || res.P95Wait > res.MaxWait {
 		t.Fatalf("wait quantiles out of order: %+v", res)
+	}
+}
+
+// TestWaitingTimesSingleLANError is the regression test for the
+// rand.Intn(0) panic: a scenario with fewer than two LANs has no pairs to
+// draw arrivals for and must fail with a descriptive error, not crash.
+func TestWaitingTimesSingleLANError(t *testing.T) {
+	sc, err := assembleTrusted(AirGround, DefaultParams(), GroundNetworks()[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.WaitingTimes(WaitingConfig{Arrivals: 10, Horizon: time.Hour, Seed: 1})
+	if err == nil {
+		t.Fatalf("single-LAN waiting experiment succeeded: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "LAN pair") || !strings.Contains(err.Error(), "1 local network") {
+		t.Errorf("error %q should name the missing LAN pairs and the LAN count", err)
+	}
+}
+
+// TestWaitUntilCoveredBoundaries pins the half-open interval semantics at
+// the exact boundary instants: an arrival at iv.Start is served
+// immediately, an arrival at iv.End has already missed the pass.
+func TestWaitUntilCoveredBoundaries(t *testing.T) {
+	intervals := []Interval{
+		{Start: 10 * time.Minute, End: 20 * time.Minute},
+		{Start: 40 * time.Minute, End: 50 * time.Minute},
+	}
+	cases := []struct {
+		name     string
+		at       time.Duration
+		wantWait time.Duration
+		wantOK   bool
+	}{
+		{"before first", 0, 10 * time.Minute, true},
+		{"at start", 10 * time.Minute, 0, true},
+		{"inside", 15 * time.Minute, 0, true},
+		{"last covered instant", 20*time.Minute - 1, 0, true},
+		{"at end", 20 * time.Minute, 20 * time.Minute, true},
+		{"in gap", 30 * time.Minute, 10 * time.Minute, true},
+		{"at second start", 40 * time.Minute, 0, true},
+		{"at second end", 50 * time.Minute, 0, false},
+		{"past everything", time.Hour, 0, false},
+	}
+	for _, tc := range cases {
+		wait, ok := waitUntilCovered(intervals, tc.at)
+		if wait != tc.wantWait || ok != tc.wantOK {
+			t.Errorf("%s: waitUntilCovered(%v) = (%v, %v), want (%v, %v)",
+				tc.name, tc.at, wait, ok, tc.wantWait, tc.wantOK)
+		}
+	}
+	if wait, ok := waitUntilCovered(nil, 0); wait != 0 || ok {
+		t.Errorf("no intervals: got (%v, %v), want (0, false)", wait, ok)
 	}
 }
 

@@ -18,9 +18,17 @@ type Summary struct {
 }
 
 // Summarize computes a Summary; an empty input yields the zero Summary.
+// A NaN anywhere in the input yields a Summary with every statistic NaN:
+// silently folding NaN would instead corrupt the result (NaN satisfies no
+// ordering, so Min would stick at +Inf and Max at -Inf while Mean/Std
+// poison quietly).
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
+	}
+	if hasNaN(xs) {
+		nan := math.NaN()
+		return Summary{N: len(xs), Mean: nan, Std: nan, Min: nan, Max: nan}
 	}
 	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum float64
@@ -48,14 +56,30 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f", s.N, s.Mean, s.Std, s.Min, s.Max)
 }
 
-// Mean returns the arithmetic mean (0 for empty input).
+// Mean returns the arithmetic mean (0 for empty input, NaN when any input
+// is NaN).
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
 
+// hasNaN reports whether any value is NaN.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // Percentile returns the p-th percentile (0..100) using nearest-rank on a
-// sorted copy; empty input yields 0.
+// sorted copy; empty input yields 0. A NaN anywhere in the input yields
+// NaN — sort.Float64s places NaNs at an undefined position, so any rank
+// could silently land on (or be displaced by) one.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if hasNaN(xs) || math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -58,6 +58,44 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestSummarizeNaNPropagates is the regression test for silent NaN
+// corruption: before Summarize checked, a NaN input left Min stuck at +Inf
+// and Max at -Inf (NaN satisfies no ordering) while Mean/Std poisoned
+// quietly. All statistics must now be explicitly NaN.
+func TestSummarizeNaNPropagates(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	for name, v := range map[string]float64{"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "Max": s.Max} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s = %g, want NaN", name, v)
+		}
+	}
+	if math.IsInf(s.Min, 1) || math.IsInf(s.Max, -1) {
+		t.Error("Min/Max stuck at the infinity sentinels — the pre-fix corruption")
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Error("Mean must propagate NaN")
+	}
+}
+
+// TestPercentileNaNPropagates: sort.Float64s places NaN at an undefined
+// position, so any rank could silently land on (or be displaced by) one —
+// the result must be NaN, never an arbitrary finite value.
+func TestPercentileNaNPropagates(t *testing.T) {
+	if v := Percentile([]float64{1, math.NaN(), 3}, 50); !math.IsNaN(v) {
+		t.Errorf("Percentile over NaN input = %g, want NaN", v)
+	}
+	if v := Percentile([]float64{1, 2, 3}, math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Percentile at NaN rank = %g, want NaN", v)
+	}
+	// +Inf is an ordered value, not corruption: it sorts last.
+	if v := Percentile([]float64{1, math.Inf(1)}, 100); !math.IsInf(v, 1) {
+		t.Errorf("p100 with +Inf = %g, want +Inf", v)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	s := Summarize([]float64{1, 2})
 	if s.String() == "" {

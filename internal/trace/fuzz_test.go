@@ -18,6 +18,10 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("garbage")
 	f.Add("name,t_seconds,x_m,y_m,z_m\nS,xx,1,2,3\n")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,NaN,1,2,3\n")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,+Inf,1,2,3\n")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,0,NaN,2,3\n")
+	f.Add("name,t_seconds,x_m,y_m,z_m\nS,0,1,2,-Infinity\n")
 
 	elems, err := orbit.PaperConstellation(6)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -71,11 +72,20 @@ func Read(r io.Reader) ([]*orbit.MovementSheet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: row %d: bad time %q: %w", i+2, row[1], err)
 		}
+		// ParseFloat accepts "NaN" and "Inf" spellings, which would poison
+		// interval inference and every downstream geometry computation —
+		// reject them at the boundary.
+		if math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return nil, fmt.Errorf("trace: row %d: non-finite time %q", i+2, row[1])
+		}
 		var v geo.Vec3
 		for j, dst := range []*float64{&v.X, &v.Y, &v.Z} {
 			f, err := strconv.ParseFloat(row[2+j], 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: row %d: bad coordinate %q: %w", i+2, row[2+j], err)
+			}
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("trace: row %d: non-finite coordinate %q", i+2, row[2+j])
 			}
 			*dst = f
 		}

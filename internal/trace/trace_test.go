@@ -67,6 +67,38 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadRejectsNonFinite: strconv.ParseFloat accepts "NaN" and "Inf"
+// spellings, which would poison interval inference and every downstream
+// geometry computation — Read must reject them with the offending row
+// number.
+func TestReadRejectsNonFinite(t *testing.T) {
+	cases := map[string]struct {
+		in      string
+		wantRow string
+	}{
+		"nan time":  {"name,t_seconds,x_m,y_m,z_m\nS,NaN,1,2,3\n", "row 2"},
+		"+inf time": {"name,t_seconds,x_m,y_m,z_m\nS,+Inf,1,2,3\n", "row 2"},
+		"-inf time": {"name,t_seconds,x_m,y_m,z_m\nS,-Inf,1,2,3\n", "row 2"},
+		"nan coord": {"name,t_seconds,x_m,y_m,z_m\nS,0,nan,2,3\n", "row 2"},
+		"inf coord": {"name,t_seconds,x_m,y_m,z_m\nS,0,1,Infinity,3\n", "row 2"},
+		"later row": {"name,t_seconds,x_m,y_m,z_m\nS,0,1,2,3\nS,30,1,2,NaN\n", "row 3"},
+		"-inf z":    {"name,t_seconds,x_m,y_m,z_m\nS,0,1,2,-inf\n", "row 2"},
+	}
+	for name, tc := range cases {
+		_, err := Read(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: non-finite value accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: error %q does not name the non-finite value", name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantRow) {
+			t.Errorf("%s: error %q does not carry %q", name, err, tc.wantRow)
+		}
+	}
+}
+
 func TestReadSortsOutOfOrderSamples(t *testing.T) {
 	in := "name,t_seconds,x_m,y_m,z_m\n" +
 		"S,60,1,0,0\n" +
