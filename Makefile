@@ -9,13 +9,16 @@ all: build test lint
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package so
+# inter-test ordering dependencies cannot creep in; -count=1 defeats result
+# caching, which would otherwise skip the reshuffled run.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 # race covers the whole module; the parallel sweep engine (internal/runner
 # and its internal/qntn call sites) is the part this target exists to gate.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -count=1 ./...
 
 # lint runs the project invariant checkers (unitsuffix, detrand, probrange,
 # errcheckclose) plus go vet; exits nonzero on any finding.

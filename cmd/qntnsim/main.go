@@ -22,8 +22,12 @@
 // produces identical output regardless of the value), the fault-injection
 // group -fault-mtbf/-fault-mttr/-fault-seed/-weather-p (deterministic
 // platform outages and weather blackouts; see DESIGN.md "Fault injection &
-// degraded modes"), and the profiling pair -cpuprofile <file> /
-// -memprofile <file> (see `make profile`).
+// degraded modes"), the profiling pair -cpuprofile <file> /
+// -memprofile <file> (see `make profile`), and the telemetry pair
+// -telemetry-dir <dir> / -events: -telemetry-dir instruments the run and
+// writes manifest.json plus metrics.txt/metrics.prom into the directory;
+// -events additionally collects per-step NDJSON traces into events.ndjson
+// (see DESIGN.md "Observability").
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"qntn/internal/orbit"
 	"qntn/internal/qkd"
 	"qntn/internal/qntn"
+	"qntn/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +71,8 @@ type options struct {
 	faultMTTR  time.Duration
 	faultSeed  int64
 	weatherP   float64
+	telDir     string
+	events     bool
 }
 
 // applyFaults overlays the fault flags onto the parameter set (after any
@@ -138,6 +145,8 @@ func run(args []string, w io.Writer) (err error) {
 	fs.DurationVar(&opt.faultMTTR, "fault-mttr", 0, "mean time to repair for injected outages (default 10m when -fault-mtbf is set)")
 	fs.Int64Var(&opt.faultSeed, "fault-seed", 0, "fault schedule random seed (0 keeps the params file's seed)")
 	fs.Float64Var(&opt.weatherP, "weather-p", 0, "long-run fraction of time a regional weather blackout affects ground FSO links, in [0,1)")
+	fs.StringVar(&opt.telDir, "telemetry-dir", "", "instrument the run and write manifest.json, metrics.txt and metrics.prom into this directory")
+	fs.BoolVar(&opt.events, "events", false, "with -telemetry-dir, also collect per-step NDJSON event traces into events.ndjson")
 	fs.Usage = func() {
 		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|params|all")
 		fs.PrintDefaults()
@@ -148,6 +157,9 @@ func run(args []string, w io.Writer) (err error) {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return fmt.Errorf("missing subcommand")
+	}
+	if opt.events && opt.telDir == "" {
+		return fmt.Errorf("-events requires -telemetry-dir")
 	}
 	if opt.quick {
 		opt.steps = 10
@@ -217,68 +229,90 @@ func run(args []string, w io.Writer) (err error) {
 		Seed:            opt.seed,
 	}
 
-	switch cmd {
-	case "fig5":
-		return runFig5(w, opt)
-	case "fig6":
-		return runFig6(w, params, opt.duration, opt)
-	case "fig7", "fig8":
-		return runFig78(w, params, serveCfg, cmd, opt)
-	case "table3":
-		return runTable3(w, params, serveCfg, opt.duration, opt)
-	case "ablations":
-		return runAblations(w, params, serveCfg, opt.duration, opt.parallel)
-	case "latency":
-		return runLatency(w, params, serveCfg, opt)
-	case "purify":
-		return runPurify(w, opt)
-	case "qkd":
-		return runQKD(w, params, opt)
-	case "night":
-		return runNight(w, params, serveCfg, opt.duration, opt)
-	case "params":
-		return qntn.SaveParams(w, params)
-	case "statewide":
-		return runStatewide(w, params, serveCfg, opt.duration, opt.parallel)
-	case "outage":
-		return runOutage(w, params, serveCfg, opt.duration)
-	case "degrade":
-		return runDegrade(w, params, serveCfg, opt)
-	case "multipath":
-		return runMultipath(w, params, serveCfg, opt.parallel)
-	case "throughput":
-		return runThroughput(w, params, serveCfg)
-	case "arrivals":
-		return runArrivals(w, params, opt.duration, opt.seed)
-	case "all":
-		for _, f := range []func() error{
-			func() error { return runFig5(w, opt) },
-			func() error { return runFig6(w, params, opt.duration, opt) },
-			func() error { return runFig78(w, params, serveCfg, "fig7", opt) },
-			func() error { return runFig78(w, params, serveCfg, "fig8", opt) },
-			func() error { return runTable3(w, params, serveCfg, opt.duration, opt) },
-			func() error { return runAblations(w, params, serveCfg, opt.duration, opt.parallel) },
-			func() error { return runLatency(w, params, serveCfg, opt) },
-			func() error { return runPurify(w, opt) },
-			func() error { return runQKD(w, params, opt) },
-			func() error { return runNight(w, params, serveCfg, opt.duration, opt) },
-			func() error { return runStatewide(w, params, serveCfg, opt.duration, opt.parallel) },
-			func() error { return runOutage(w, params, serveCfg, opt.duration) },
-			func() error { return runDegrade(w, params, serveCfg, opt) },
-			func() error { return runMultipath(w, params, serveCfg, opt.parallel) },
-			func() error { return runThroughput(w, params, serveCfg) },
-			func() error { return runArrivals(w, params, opt.duration, opt.seed) },
-		} {
-			if err := f(); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
+	// -telemetry-dir instruments every scenario the run assembles; the
+	// collector is flushed to disk after the subcommand succeeds. The hash
+	// is taken before wiring so it reflects the physical configuration only.
+	var col *telemetry.Collector
+	var runSpan *telemetry.Span
+	paramsHash := ""
+	if opt.telDir != "" {
+		paramsHash = qntn.ParamsHash(params)
+		col = telemetry.NewCollector()
+		if !opt.events {
+			col.Events = nil
 		}
-		return nil
-	default:
-		fs.Usage()
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		params.Telemetry = col
+		runSpan = telemetry.StartSpan(cmd, time.Now)
 	}
+
+	runErr := func() error {
+		switch cmd {
+		case "fig5":
+			return runFig5(w, opt)
+		case "fig6":
+			return runFig6(w, params, opt.duration, opt)
+		case "fig7", "fig8":
+			return runFig78(w, params, serveCfg, cmd, opt)
+		case "table3":
+			return runTable3(w, params, serveCfg, opt.duration, opt)
+		case "ablations":
+			return runAblations(w, params, serveCfg, opt.duration, opt.parallel)
+		case "latency":
+			return runLatency(w, params, serveCfg, opt)
+		case "purify":
+			return runPurify(w, opt)
+		case "qkd":
+			return runQKD(w, params, opt)
+		case "night":
+			return runNight(w, params, serveCfg, opt.duration, opt)
+		case "params":
+			return qntn.SaveParams(w, params)
+		case "statewide":
+			return runStatewide(w, params, serveCfg, opt.duration, opt.parallel)
+		case "outage":
+			return runOutage(w, params, serveCfg, opt.duration)
+		case "degrade":
+			return runDegrade(w, params, serveCfg, opt)
+		case "multipath":
+			return runMultipath(w, params, serveCfg, opt.parallel)
+		case "throughput":
+			return runThroughput(w, params, serveCfg)
+		case "arrivals":
+			return runArrivals(w, params, opt.duration, opt.seed)
+		case "all":
+			for _, f := range []func() error{
+				func() error { return runFig5(w, opt) },
+				func() error { return runFig6(w, params, opt.duration, opt) },
+				func() error { return runFig78(w, params, serveCfg, "fig7", opt) },
+				func() error { return runFig78(w, params, serveCfg, "fig8", opt) },
+				func() error { return runTable3(w, params, serveCfg, opt.duration, opt) },
+				func() error { return runAblations(w, params, serveCfg, opt.duration, opt.parallel) },
+				func() error { return runLatency(w, params, serveCfg, opt) },
+				func() error { return runPurify(w, opt) },
+				func() error { return runQKD(w, params, opt) },
+				func() error { return runNight(w, params, serveCfg, opt.duration, opt) },
+				func() error { return runStatewide(w, params, serveCfg, opt.duration, opt.parallel) },
+				func() error { return runOutage(w, params, serveCfg, opt.duration) },
+				func() error { return runDegrade(w, params, serveCfg, opt) },
+				func() error { return runMultipath(w, params, serveCfg, opt.parallel) },
+				func() error { return runThroughput(w, params, serveCfg) },
+				func() error { return runArrivals(w, params, opt.duration, opt.seed) },
+			} {
+				if err := f(); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		default:
+			fs.Usage()
+			return fmt.Errorf("unknown subcommand %q", cmd)
+		}
+	}()
+	if runErr != nil {
+		return runErr
+	}
+	return writeTelemetry(opt, cmd, paramsHash, col, runSpan)
 }
 
 // errorCapturingWriter remembers the first write error, because

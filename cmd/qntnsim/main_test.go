@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"qntn/internal/telemetry"
 )
 
 func TestRunFig5(t *testing.T) {
@@ -364,6 +366,101 @@ func TestRunParallelFlagOutputInvariant(t *testing.T) {
 			t.Fatalf("fig6 output differs between -parallel 1 and -parallel %d:\n%s\nvs\n%s",
 				[]int{1, 2, 8}[i], outputs[0], outputs[i])
 		}
+	}
+}
+
+// TestRunTelemetryDir drives -telemetry-dir/-events end to end: the run
+// must leave a parseable manifest, both metric dumps and a valid event
+// stream behind — and print exactly the same stdout as an uninstrumented
+// run (the zero-interference claim at the CLI layer).
+func TestRunTelemetryDir(t *testing.T) {
+	var plain strings.Builder
+	if err := run([]string{"-quick", "fig6"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var instrumented strings.Builder
+	if err := run([]string{"-quick", "-telemetry-dir", dir, "-events", "fig6"}, &instrumented); err != nil {
+		t.Fatal(err)
+	}
+	if instrumented.String() != plain.String() {
+		t.Errorf("telemetry changed stdout:\n%s\nvs\n%s", instrumented.String(), plain.String())
+	}
+
+	f, err := os.Open(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := telemetry.ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Command != "fig6" {
+		t.Errorf("manifest command %q", m.Command)
+	}
+	if len(m.ParamsHash) != 16 {
+		t.Errorf("manifest params_hash %q", m.ParamsHash)
+	}
+	if m.GOMAXPROCS <= 0 || m.WallNs <= 0 {
+		t.Errorf("manifest missing run shape: %+v", m)
+	}
+	if m.Summary["snapshot_steps_total"] <= 0 {
+		t.Errorf("manifest summary lacks snapshot_steps_total: %v", m.Summary)
+	}
+
+	metrics, err := os.ReadFile(filepath.Join(dir, "metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "counter snapshot_steps_total") {
+		t.Errorf("metrics.txt:\n%s", metrics)
+	}
+	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "# TYPE qntn_snapshot_steps_total counter") {
+		t.Errorf("metrics.prom:\n%s", prom)
+	}
+
+	ef, err := os.Open(filepath.Join(dir, "events.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	events, err := telemetry.ReadNDJSON(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+}
+
+// TestRunTelemetryDirWithoutEvents: metrics only — no events.ndjson.
+func TestRunTelemetryDirWithoutEvents(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-quick", "-telemetry-dir", dir, "table3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"manifest.json", "metrics.txt", "metrics.prom"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events.ndjson")); err == nil {
+		t.Error("events.ndjson written without -events")
+	}
+}
+
+// TestRunEventsRequiresTelemetryDir: -events alone has nowhere to write.
+func TestRunEventsRequiresTelemetryDir(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-events", "fig6"}, &b); err == nil {
+		t.Fatal("-events without -telemetry-dir accepted")
 	}
 }
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"qntn/internal/telemetry"
+)
+
+// writeTelemetry flushes a completed run's collector into -telemetry-dir:
+// manifest.json (identity + timings), metrics.txt and metrics.prom (the
+// registry in text and Prometheus exposition format), and events.ndjson when
+// -events collected per-step traces. No-op when the run was uninstrumented.
+func writeTelemetry(opt options, cmd, paramsHash string, col *telemetry.Collector, runSpan *telemetry.Span) error {
+	if col == nil {
+		return nil
+	}
+	if err := os.MkdirAll(opt.telDir, 0o755); err != nil {
+		return err
+	}
+	phase := runSpan.End()
+	m := telemetry.Manifest{
+		Command:     cmd,
+		ParamsHash:  paramsHash,
+		Seed:        opt.seed,
+		GitDescribe: gitDescribe(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		WallNs:      phase.WallNs,
+		CPUSeconds:  telemetry.ProcessCPUSeconds(),
+		Phases:      []telemetry.Phase{phase},
+		Summary:     summaryFromRegistry(col.Registry),
+	}
+	if err := writeTelemetryFile(opt.telDir, "manifest.json", func(f *os.File) error {
+		return telemetry.WriteManifest(f, m)
+	}); err != nil {
+		return err
+	}
+	if err := writeTelemetryFile(opt.telDir, "metrics.txt", func(f *os.File) error {
+		return col.Registry.WriteText(f)
+	}); err != nil {
+		return err
+	}
+	if err := writeTelemetryFile(opt.telDir, "metrics.prom", func(f *os.File) error {
+		return col.Registry.WritePrometheus(f)
+	}); err != nil {
+		return err
+	}
+	if col.Events != nil {
+		if err := writeTelemetryFile(opt.telDir, "events.ndjson", func(f *os.File) error {
+			return col.Events.WriteNDJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTelemetryFile(dir, name string, fn func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("telemetry %s: %w", name, werr)
+	}
+	return cerr
+}
+
+// summaryFromRegistry flattens the final registry state into the manifest's
+// summary map: counters and gauges by name, histograms as _count/_sum.
+func summaryFromRegistry(reg *telemetry.Registry) map[string]float64 {
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(snap))
+	for _, m := range snap {
+		if m.Kind == "histogram" {
+			out[m.Name+"_count"] = float64(m.Count)
+			out[m.Name+"_sum"] = m.Sum
+			continue
+		}
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// gitDescribe best-effort identifies the working tree ("" when git or the
+// repository is unavailable — the manifest omits the field).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

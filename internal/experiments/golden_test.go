@@ -103,6 +103,26 @@ func TestGoldenFig78CSV(t *testing.T) {
 	}
 }
 
+func TestGoldenDegradationCSV(t *testing.T) {
+	p := goldenParams()
+	cfg := goldenServeConfig()
+	sizes := []int{6, 12}
+	levels := []float64{0, 0.25}
+	for _, workers := range goldenWorkerCounts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rows, err := DegradationStudyParallel(p, cfg, 90*time.Minute, sizes, levels, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := DegradationCSV(&buf, rows); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "degrade.csv", buf.Bytes())
+		})
+	}
+}
+
 func TestGoldenTable3CSV(t *testing.T) {
 	p := goldenParams()
 	cfg := goldenServeConfig()

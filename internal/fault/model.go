@@ -80,8 +80,12 @@ func (m *Model) BeginStep(nodes []netsim.Node, t time.Duration) netsim.StepEvalu
 		se.init(nodes)
 	}
 	se.t = t
+	se.nodesDown = 0
 	for i := range se.nodes {
 		se.down[i] = spanAt(se.spans[i], t)
+		if se.down[i] {
+			se.nodesDown++
+		}
 	}
 	se.weather = m.sched.Weather(t)
 	if sm, ok := m.inner.(netsim.StepModel); ok {
@@ -102,10 +106,27 @@ type stepEval struct {
 	ground []bool
 
 	// Per-step.
-	t       time.Duration
-	down    []bool
-	weather bool
-	inner   netsim.StepEvaluator // nil when the inner model is per-pair only
+	t         time.Duration
+	down      []bool
+	nodesDown int
+	weather   bool
+	inner     netsim.StepEvaluator // nil when the inner model is per-pair only
+}
+
+// FaultStats implements netsim.FaultStatser: the fault state resolved for
+// this step.
+func (se *stepEval) FaultStats() (nodesDown int, weather bool) {
+	return se.nodesDown, se.weather
+}
+
+// PairStats implements netsim.PairStatser by forwarding the inner
+// evaluator's prefilter counts, so decorating a scenario with faults keeps
+// its telemetry visible.
+func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
+	if ps, ok := se.inner.(netsim.PairStatser); ok {
+		return ps.PairStats()
+	}
+	return 0, 0
 }
 
 // sameNodes reports whether the static caches were built for exactly this

@@ -1,0 +1,111 @@
+package netsim
+
+import "qntn/internal/telemetry"
+
+// Instruments is the set of counters a Network flushes once per snapshot
+// step. All fields are nil-safe telemetry handles, so a zero Instruments —
+// or none installed at all — costs a single nil check per step and never
+// allocates.
+type Instruments struct {
+	// Steps counts topology snapshots taken.
+	Steps *telemetry.Counter
+	// PairsEvaluated counts node pairs offered to the step evaluator.
+	PairsEvaluated *telemetry.Counter
+	// LinksAdmitted counts pairs that produced a usable link.
+	LinksAdmitted *telemetry.Counter
+	// HorizonRejects and RangeRejects count pairs discarded by the
+	// evaluator's conservative geometric prefilters (reported via
+	// PairStatser; zero for models that do not implement it).
+	HorizonRejects *telemetry.Counter
+	RangeRejects   *telemetry.Counter
+	// NodesDownSteps accumulates, over steps, the number of nodes held down
+	// by fault injection (via FaultStatser). WeatherSteps counts steps spent
+	// inside a weather blackout.
+	NodesDownSteps *telemetry.Counter
+	WeatherSteps   *telemetry.Counter
+}
+
+// NewInstruments registers the network's standard counters on reg. Returns
+// nil when reg is nil, which disables per-step flushing entirely.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		Steps:          reg.Counter("snapshot_steps_total"),
+		PairsEvaluated: reg.Counter("pairs_evaluated_total"),
+		LinksAdmitted:  reg.Counter("links_admitted_total"),
+		HorizonRejects: reg.Counter("horizon_prefilter_rejects_total"),
+		RangeRejects:   reg.Counter("range_prefilter_rejects_total"),
+		NodesDownSteps: reg.Counter("fault_node_down_steps_total"),
+		WeatherSteps:   reg.Counter("fault_weather_steps_total"),
+	}
+}
+
+// Observe flushes one step's stats into the counters: one atomic add per
+// counter per step, regardless of pair count. Nil-safe.
+func (ins *Instruments) Observe(st *SnapshotStats) {
+	if ins == nil || st == nil {
+		return
+	}
+	ins.Steps.Inc()
+	ins.PairsEvaluated.Add(uint64(st.Pairs))
+	ins.LinksAdmitted.Add(uint64(st.Admitted))
+	ins.HorizonRejects.Add(uint64(st.HorizonRejects))
+	ins.RangeRejects.Add(uint64(st.RangeRejects))
+	ins.NodesDownSteps.Add(uint64(st.NodesDown))
+	if st.Weather {
+		ins.WeatherSteps.Inc()
+	}
+}
+
+// SnapshotStats reports what happened during one topology snapshot.
+type SnapshotStats struct {
+	// Pairs is the number of node pairs evaluated, Admitted the number that
+	// produced a usable link.
+	Pairs    int
+	Admitted int
+	// HorizonRejects and RangeRejects are the evaluator's prefilter hits
+	// (zero when the evaluator does not implement PairStatser).
+	HorizonRejects int64
+	RangeRejects   int64
+	// NodesDown and Weather describe fault state resolved for this step
+	// (zero when the evaluator does not implement FaultStatser).
+	NodesDown int
+	Weather   bool
+}
+
+// PairStatser is optionally implemented by step evaluators that count
+// geometric prefilter rejections. Counts are for the current step and are
+// drained before Close.
+type PairStatser interface {
+	PairStats() (horizonRejects, rangeRejects int64)
+}
+
+// FaultStatser is optionally implemented by step evaluators that resolve
+// fault state per step.
+type FaultStatser interface {
+	FaultStats() (nodesDown int, weather bool)
+}
+
+// DrainStepStats fills st's evaluator-derived fields from ev's optional
+// stats interfaces. Callers running their own pair loops over a BeginStep
+// evaluator (rather than SnapshotInto) use this before Close.
+func DrainStepStats(ev StepEvaluator, st *SnapshotStats) {
+	if st == nil {
+		return
+	}
+	if ps, ok := ev.(PairStatser); ok {
+		st.HorizonRejects, st.RangeRejects = ps.PairStats()
+	}
+	if fs, ok := ev.(FaultStatser); ok {
+		st.NodesDown, st.Weather = fs.FaultStats()
+	}
+}
+
+// SetInstruments installs (or, with nil, removes) the per-step counter set
+// flushed by snapshots. Not safe to call concurrently with snapshots.
+func (n *Network) SetInstruments(ins *Instruments) { n.ins = ins }
+
+// Instruments returns the installed per-step counter set, or nil.
+func (n *Network) Instruments() *Instruments { return n.ins }

@@ -54,6 +54,7 @@ type Network struct {
 	nodes []Node
 	byID  map[string]Node
 	model LinkModel
+	ins   *Instruments
 }
 
 // NewNetwork returns an empty network using the given link model.
@@ -150,6 +151,17 @@ func (n *Network) Snapshot(t time.Duration) (*routing.Graph, error) {
 // the edges are reset and the snapshot allocates nothing. The result is
 // identical to Snapshot's.
 func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
+	return n.snapshotInto(g, t, nil)
+}
+
+// SnapshotIntoStats is SnapshotInto plus per-step accounting: when st is
+// non-nil it is overwritten with the step's evaluation stats. Installed
+// Instruments are flushed either way.
+func (n *Network) SnapshotIntoStats(g *routing.Graph, t time.Duration, st *SnapshotStats) error {
+	return n.snapshotInto(g, t, st)
+}
+
+func (n *Network) snapshotInto(g *routing.Graph, t time.Duration, st *SnapshotStats) error {
 	if !n.graphMatches(g) {
 		g.Reset()
 		for _, node := range n.nodes {
@@ -158,6 +170,7 @@ func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
 	}
 	g.ResetEdges()
 	ev := n.BeginStep(t)
+	admitted := 0
 	for i := 0; i < len(n.nodes); i++ {
 		for j := i + 1; j < len(n.nodes); j++ {
 			if eta, ok := ev.EvaluatePair(i, j); ok {
@@ -165,7 +178,18 @@ func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
 					ev.Close()
 					return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
 				}
+				admitted++
 			}
+		}
+	}
+	if st != nil || n.ins != nil {
+		var s SnapshotStats
+		s.Pairs = len(n.nodes) * (len(n.nodes) - 1) / 2
+		s.Admitted = admitted
+		DrainStepStats(ev, &s)
+		n.ins.Observe(&s)
+		if st != nil {
+			*st = s
 		}
 	}
 	ev.Close()

@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"qntn/internal/netsim"
 	"qntn/internal/routing"
+	"qntn/internal/telemetry"
 )
 
 func BenchmarkSnapshot108Satellites(b *testing.B) {
@@ -45,6 +47,34 @@ func BenchmarkSnapshotInto108Satellites(b *testing.B) {
 	}
 	allocs, bytes := m.stop()
 	recordSweepBench(b, "SnapshotInto108", 1, allocs, bytes)
+}
+
+// BenchmarkSnapshotInto108TelemetrySatellites is the enabled half of the
+// telemetry overhead pair: the same steady-state loop as
+// BenchmarkSnapshotInto108Satellites (the nil-sink baseline), but with a
+// metrics-only collector attached, so BENCH_sweep.json documents the cost
+// of instrumentation — a handful of atomic adds per step — next to the
+// uninstrumented numbers.
+func BenchmarkSnapshotInto108TelemetrySatellites(b *testing.B) {
+	p := DefaultParams()
+	p.Telemetry = &telemetry.Collector{Registry: telemetry.NewRegistry()}
+	sc, err := NewSpaceGround(108, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := routing.NewGraph()
+	var st netsim.SnapshotStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m allocMeter
+	m.start()
+	for i := 0; i < b.N; i++ {
+		if err := sc.Net.SnapshotIntoStats(g, time.Duration(i)*30*time.Second, &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	allocs, bytes := m.stop()
+	recordSweepBench(b, "SnapshotInto108Telemetry", 1, allocs, bytes)
 }
 
 func BenchmarkRoutesAirGround(b *testing.B) {

@@ -7,6 +7,7 @@ import (
 	"qntn/internal/netsim"
 	"qntn/internal/orbit"
 	"qntn/internal/routing"
+	"qntn/internal/telemetry"
 )
 
 // Interval is a half-open time span [Start, End) during which the regional
@@ -98,14 +99,38 @@ func (sc *Scenario) Coverage(duration time.Duration) (*CoverageResult, error) {
 	// One graph and one union-find are reused across every topology step.
 	g := routing.NewGraph()
 	uf := &unionFind{}
+	tel := sc.tel
+	var label string
+	if tel != nil {
+		label = sc.coverageLabel()
+	}
+	stepIndex := 0
 	var simErr error
 	err := sim.ScheduleEvery(0, step, duration-step, "topology-update", func(s *netsim.Simulator) {
-		if err := sc.GraphInto(g, s.Now()); err != nil {
+		var st netsim.SnapshotStats
+		if tel != nil {
+			if err := sc.Net.SnapshotIntoStats(g, s.Now(), &st); err != nil {
+				simErr = err
+				s.Stop()
+				return
+			}
+		} else if err := sc.GraphInto(g, s.Now()); err != nil {
 			simErr = err
 			s.Stop()
 			return
 		}
-		accumulate(res, s.Now(), step, sc.bridgedInto(uf, g))
+		covered := sc.bridgedInto(uf, g)
+		accumulate(res, s.Now(), step, covered)
+		if tel != nil {
+			tel.coverageSteps.Inc()
+			if covered {
+				tel.coverageCovered.Inc()
+			}
+			sc.recordStepEvent(label, stepIndex, s.Now(), &st, func(e *telemetry.Event) {
+				e.Covered = covered
+			})
+			stepIndex++
+		}
 	})
 	if err != nil {
 		return nil, err

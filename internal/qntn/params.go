@@ -15,6 +15,7 @@ import (
 	"qntn/internal/atmosphere"
 	"qntn/internal/channel"
 	"qntn/internal/fault"
+	"qntn/internal/telemetry"
 )
 
 // Params collects every tunable of the study. DefaultParams matches the
@@ -121,6 +122,12 @@ type Params struct {
 
 	// RoutingEpsilon is the ε of the 1/(η+ε) cost metric.
 	RoutingEpsilon float64
+
+	// Telemetry, when non-nil, instruments every scenario assembled from
+	// these parameters (see Scenario.Instrument). Runtime wiring only: the
+	// collector is excluded from the JSON codec, ParamsHash and Validate,
+	// and the nil default costs nothing on any hot path.
+	Telemetry *telemetry.Collector
 }
 
 // FidelityModel selects the entanglement source placement used when

@@ -1,0 +1,5 @@
+//go:build !race
+
+package qntn
+
+const raceEnabled = false

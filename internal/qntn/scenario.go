@@ -82,6 +82,10 @@ type Scenario struct {
 	// stepPool recycles stepEval instances across topology steps (and
 	// across concurrent sweep workers — each worker holds its own).
 	stepPool sync.Pool
+
+	// tel is the scenario-level instrumentation, nil (free) by default.
+	// See Instrument.
+	tel *scenarioTelemetry
 }
 
 // NewSpaceGround assembles the space-ground architecture with the first
@@ -223,6 +227,9 @@ func assembleTrusted(arch Architecture, p Params, lans []LocalNetwork, relays []
 			return nil, err
 		}
 		sc.Net.SetModel(fault.NewModel(scenarioModel{sc}, sched, p.TransmissivityThreshold))
+	}
+	if p.Telemetry != nil {
+		sc.Instrument(p.Telemetry)
 	}
 	return sc, nil
 }

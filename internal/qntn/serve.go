@@ -8,6 +8,7 @@ import (
 	"qntn/internal/orbit"
 	"qntn/internal/routing"
 	"qntn/internal/stats"
+	"qntn/internal/telemetry"
 )
 
 // ServeConfig parameterizes the paper's §IV-B/§IV-C experiments:
@@ -99,12 +100,25 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 	graph := routing.NewGraph()
 	var scratch routing.BellmanFordScratch
 
+	tel := sc.tel
+	var label string
+	if tel != nil {
+		label = sc.serveLabel(cfg.Seed)
+	}
+
 	var fids, etas []float64
 	for step, at := range times {
-		if err := sc.GraphInto(graph, at); err != nil {
+		var st netsim.SnapshotStats
+		if tel != nil {
+			if err := sc.Net.SnapshotIntoStats(graph, at, &st); err != nil {
+				return nil, err
+			}
+		} else if err := sc.GraphInto(graph, at); err != nil {
 			return nil, err
 		}
 		tables := scratch.Run(graph, sc.Params.RoutingEpsilon)
+		stepServed, stepDropped := 0, 0
+		var stepFidSum float64
 		for _, req := range wl.Batch(cfg.RequestsPerStep) {
 			out := netsim.Outcome{Request: req, At: at}
 			if tables.Reachable(req.Src, req.Dst) {
@@ -122,8 +136,29 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 				out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
 				fids = append(fids, out.Fidelity)
 				etas = append(etas, out.EndToEndEta)
+				stepServed++
+				stepFidSum += out.Fidelity
+				if tel != nil {
+					tel.fidelity.Observe(out.Fidelity)
+				}
+			} else {
+				stepDropped++
 			}
 			res.Metrics.Record(out)
+		}
+		if tel != nil {
+			rounds := scratch.Rounds()
+			tel.relaxRounds.Add(uint64(rounds))
+			tel.requestsServed.Add(uint64(stepServed))
+			tel.requestsDropped.Add(uint64(stepDropped))
+			sc.recordStepEvent(label, step, at, &st, func(e *telemetry.Event) {
+				e.RelaxRounds = int64(rounds)
+				e.Served = int64(stepServed)
+				e.Dropped = int64(stepDropped)
+				if stepServed > 0 {
+					e.MeanFidelity = stepFidSum / float64(stepServed)
+				}
+			})
 		}
 	}
 	res.ServedPercent = 100 * res.Metrics.ServedFraction()

@@ -69,6 +69,18 @@ type stepEval struct {
 	frame []geo.Frame // relays: observation frame at lla
 	dark  []bool      // ground hosts: IsDark (when RequireDarkness)
 	avail []bool      // HAPs: hapAvailable(t)
+
+	// Per-step prefilter hit counts, drained via PairStats. Plain ints:
+	// an evaluator is single-goroutine between BeginStep and Close, and
+	// incrementing them is noise next to the geometry they sit beside.
+	horizonRejects int64
+	rangeRejects   int64
+}
+
+// PairStats implements netsim.PairStatser: the number of pairs this step
+// rejected by the horizon and squared-range prefilters.
+func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
+	return se.horizonRejects, se.rangeRejects
 }
 
 // sameNodes reports whether the evaluator's static caches were built for
@@ -130,6 +142,8 @@ func (se *stepEval) init(nodes []netsim.Node) {
 // host; one availability bit per HAP.
 func (se *stepEval) reset(t time.Duration) {
 	se.t = t
+	se.horizonRejects = 0
+	se.rangeRejects = 0
 	sc := se.sc
 	requireDark := sc.Params.RequireDarkness
 	var twilightRad float64
@@ -214,6 +228,7 @@ func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2
 	}
 	f := &se.gFrame[a]
 	if !f.AboveHorizon(se.pos[b]) {
+		se.horizonRejects++
 		return 0, false
 	}
 	look := f.Look(se.pos[b])
@@ -221,6 +236,7 @@ func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2
 		return 0, false
 	}
 	if look.SlantRangeM*look.SlantRangeM > maxRangeM2 {
+		se.rangeRejects++
 		return 0, false
 	}
 	eta := cfg.Transmissivity(channel.FSOGeometry{
@@ -243,6 +259,7 @@ func (se *stepEval) islPair(a, b int) (float64, bool) {
 	pa, pb := se.pos[a], se.pos[b]
 	d := pb.Sub(pa)
 	if d.Dot(d) > sc.spaceMaxRangeM2 {
+		se.rangeRejects++
 		return 0, false
 	}
 	if !geo.LineOfSight(pa, pb, sc.islClearance) {
@@ -271,6 +288,7 @@ func (se *stepEval) satHAPPair(a, b int) (float64, bool) {
 	ps, ph := se.pos[a], se.pos[b]
 	d := ph.Sub(ps)
 	if d.Dot(d) > sc.satHAPMaxRangeM2 {
+		se.rangeRejects++
 		return 0, false
 	}
 	lo, hi := a, b

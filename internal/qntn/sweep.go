@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"qntn/internal/netsim"
 	"qntn/internal/runner"
 	"qntn/internal/stats"
 )
@@ -110,20 +111,33 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 		islNbr := make([][]int, maxN)
 		uf := newUnionFind(nLAN + maxN)
 
-		for _, at := range times[lo:hi] {
+		// Scenario-shared instrumentation: counters are atomic (order
+		// invariant), and events carry the global step index, so the chunk
+		// partition leaves telemetry output worker-count invariant.
+		tel := sc.tel
+		ins := sc.Net.Instruments()
+		var label string
+		if tel != nil {
+			label = fmt.Sprintf("coverage-sweep/%s/%d", sc.Arch, len(sc.RelayIDs))
+		}
+
+		for k, at := range times[lo:hi] {
 			// Phase 1: evaluate physics once for the largest constellation,
 			// through the network's step evaluator (one per worker) so
 			// positions, geodetic conversions and darkness are computed once
 			// per instant — and fault decoration, when installed, applies
 			// here exactly as in snapshots.
+			pairs, admitted := 0, 0
 			ev := sc.Net.BeginStep(at)
 			for si, sat := range satIdx {
 				islNbr[si] = islNbr[si][:0]
 				for li := range lanHosts {
 					covered := false
 					for _, h := range lanHosts[li] {
+						pairs++
 						if _, ok := ev.EvaluatePair(h, sat); ok {
 							covered = true
+							admitted++
 							break
 						}
 					}
@@ -132,10 +146,18 @@ func CoverageSweepParallel(p Params, sizes []int, duration time.Duration, worker
 			}
 			for i := 0; i < nSats; i++ {
 				for j := i + 1; j < nSats; j++ {
+					pairs++
 					if _, ok := ev.EvaluatePair(satIdx[i], satIdx[j]); ok {
 						islNbr[i] = append(islNbr[i], j)
+						admitted++
 					}
 				}
+			}
+			if tel != nil {
+				st := netsim.SnapshotStats{Pairs: pairs, Admitted: admitted}
+				netsim.DrainStepStats(ev, &st)
+				ins.Observe(&st)
+				sc.recordStepEvent(label, lo+k, at, &st, nil)
 			}
 			ev.Close()
 
@@ -246,11 +268,18 @@ func ServeSweepParallel(p Params, sizes []int, cfg ServeConfig, workers int) ([]
 	if err != nil {
 		return nil, err
 	}
+	// Each size writes telemetry into its own shard — sharded by task, not
+	// by worker, so the partition is scheduling-independent — and the shards
+	// merge back in size order after the fan-out. Nil when uninstrumented.
+	shards := p.Telemetry.Shards(len(sizes))
 	points := make([]ServePoint, len(sizes))
 	err = runner.Map(context.Background(), len(sizes), workers, func(_ context.Context, i int) error {
 		sc, err := cache.Scenario(sizes[i])
 		if err != nil {
 			return err
+		}
+		if shards != nil {
+			sc.Instrument(shards[i])
 		}
 		res, err := sc.RunServe(cfg)
 		if err != nil {
@@ -262,6 +291,7 @@ func ServeSweepParallel(p Params, sizes []int, cfg ServeConfig, workers int) ([]
 	if err != nil {
 		return nil, err
 	}
+	p.Telemetry.MergeShards(shards)
 	return points, nil
 }
 
@@ -311,6 +341,9 @@ func ServeSweepReplicated(p Params, sizes []int, cfg ServeConfig, replicas, work
 		served[i] = make([]float64, replicas)
 		fidelity[i] = make([]float64, replicas)
 	}
+	// One telemetry shard per (size, replica) cell, merged in flattened
+	// grid order. Nil when uninstrumented.
+	shards := p.Telemetry.Shards(len(sizes) * replicas)
 	err = runner.Grid(context.Background(), len(sizes), replicas, workers, func(_ context.Context, si, r int) error {
 		rcfg := cfg
 		if r > 0 {
@@ -319,6 +352,9 @@ func ServeSweepReplicated(p Params, sizes []int, cfg ServeConfig, replicas, work
 		sc, err := cache.Scenario(sizes[si])
 		if err != nil {
 			return err
+		}
+		if shards != nil {
+			sc.Instrument(shards[si*replicas+r])
 		}
 		res, err := sc.RunServe(rcfg)
 		if err != nil {
@@ -331,6 +367,7 @@ func ServeSweepReplicated(p Params, sizes []int, cfg ServeConfig, replicas, work
 	if err != nil {
 		return nil, err
 	}
+	p.Telemetry.MergeShards(shards)
 	out := make([]ServeStats, len(sizes))
 	for i, n := range sizes {
 		out[i] = ServeStats{

@@ -42,7 +42,15 @@ type BellmanFordScratch struct {
 	// are nbrs[off[u]:off[u+1]], ascending.
 	nbrs []int32
 	off  []int32
+	// rounds is the number of relaxation rounds the last Run executed
+	// before converging (early exit included).
+	rounds int
 }
+
+// Rounds reports how many relaxation rounds the last Run executed. Exposed
+// for telemetry: convergence speed is a direct measure of topology diameter
+// and routing cost per snapshot.
+func (s *BellmanFordScratch) Rounds() int { return s.rounds }
 
 // BellmanFord runs the paper's Algorithm 1 on the graph: every node
 // initializes a table with cost 0 to itself, 1/(η+ε) to adjacent nodes and
@@ -61,6 +69,7 @@ func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 	}
 	t := &s.t
 	t.Epsilon = epsilon
+	s.rounds = 0
 	n := g.NumNodes()
 	s.setIDs(g.ids)
 	if n == 0 {
@@ -122,6 +131,7 @@ func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 	// N−1 rounds of UPDATE (Algorithm 1): for every node and every edge
 	// (u, v), try reaching u through v using v's table.
 	for round := 0; round < n-1; round++ {
+		s.rounds = round + 1
 		changed := false
 		for i := 0; i < n; i++ {
 			row := t.cost[i*n : (i+1)*n]

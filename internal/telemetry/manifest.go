@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+)
+
+// Manifest records everything needed to identify and reproduce a run:
+// the command, a stable hash of its parameters, the seed, the build, the
+// machine shape, and coarse timings. Wall/CPU times live here — and only
+// here — so metric and event output stays bit-identical across repeat runs.
+type Manifest struct {
+	Command     string             `json:"command"`
+	ParamsHash  string             `json:"params_hash,omitempty"`
+	Seed        int64              `json:"seed"`
+	GitDescribe string             `json:"git_describe,omitempty"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	WallNs      int64              `json:"wall_ns"`
+	CPUSeconds  float64            `json:"cpu_seconds,omitempty"`
+	Phases      []Phase            `json:"phases,omitempty"`
+	Summary     map[string]float64 `json:"summary,omitempty"`
+}
+
+// Validate rejects manifests with non-finite or negative numeric fields,
+// mirroring the event codec.
+func (m Manifest) Validate() error {
+	if m.Command == "" {
+		return fmt.Errorf("telemetry: manifest has empty command")
+	}
+	if m.GOMAXPROCS < 0 || m.NumCPU < 0 {
+		return fmt.Errorf("telemetry: manifest: negative processor count")
+	}
+	if m.WallNs < 0 {
+		return fmt.Errorf("telemetry: manifest: negative wall_ns %d", m.WallNs)
+	}
+	if math.IsNaN(m.CPUSeconds) || math.IsInf(m.CPUSeconds, 0) || m.CPUSeconds < 0 {
+		return fmt.Errorf("telemetry: manifest: non-finite or negative cpu_seconds %v", m.CPUSeconds)
+	}
+	for _, p := range m.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("telemetry: manifest: phase with empty name")
+		}
+		if p.WallNs < 0 {
+			return fmt.Errorf("telemetry: manifest: phase %q: negative wall_ns %d", p.Name, p.WallNs)
+		}
+	}
+	keys := make([]string, 0, len(m.Summary))
+	for k := range m.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := m.Summary[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("telemetry: manifest: non-finite summary value %q=%v", k, v)
+		}
+	}
+	return nil
+}
+
+// WriteManifest writes m as indented JSON after validating it. Map keys are
+// sorted by encoding/json, so output is deterministic for a given manifest.
+func WriteManifest(w io.Writer, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding manifest: %w", err)
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadManifest parses and validates a manifest, rejecting unknown fields
+// and NaN/Inf values the way the event codec does.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("telemetry: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// ProcessCPUSeconds returns the process's total CPU time so far as reported
+// by runtime/metrics, or 0 when the metric is unavailable. Best effort:
+// meant for the manifest's coarse cpu_seconds field, not for benchmarking.
+func ProcessCPUSeconds() float64 {
+	const name = "/cpu/classes/total:cpu-seconds"
+	samples := []metrics.Sample{{Name: name}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	v := samples[0].Value.Float64()
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,183 @@
+// Package telemetry is a zero-overhead-when-disabled instrumentation layer
+// for the simulator: atomic counters, gauges and fixed-bucket histograms
+// behind a Registry, a Span timer for run phases, an NDJSON event sink for
+// per-step records, and a run manifest codec.
+//
+// Every handle type is safe to use through a nil pointer: Add/Inc/Observe on
+// a nil Counter/Gauge/Histogram, Record on a nil EventSink and lookups on a
+// nil Registry are all no-ops that cost a single pointer comparison and never
+// allocate. Hot paths therefore hold plain pointers and call unconditionally;
+// disabling telemetry is simply not installing a Registry.
+//
+// All mutation is by atomic add, which is commutative, so counter totals are
+// invariant under worker count and scheduling. Wall-clock measurements are
+// deliberately confined to Span/Manifest and never enter the Registry or the
+// event stream, keeping those byte-identical across runs of the same
+// configuration.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 for a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a signed instantaneous value. The zero value is ready to use; a
+// nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value; 0 for a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations x with x <= bounds[i] (and greater than every lower bound);
+// one implicit overflow bucket catches the rest. Bounds are fixed at
+// creation. A nil *Histogram discards all observations; NaN observations are
+// dropped (they belong to no bucket and would poison the sum).
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; implicit +Inf bucket after
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records x into the matching bucket.
+func (h *Histogram) Observe(x float64) {
+	if h == nil || math.IsNaN(x) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations; 0 for a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 for a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	return b
+}
+
+// BucketCounts returns a copy of the per-bucket counts; the final element is
+// the overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	// Bucket-wise merge requires identical bounds; shards created via
+	// Registry.Histogram with the same name always satisfy this. On a
+	// mismatch only count and sum are preserved (into the overflow bucket).
+	if len(h.counts) == len(src.counts) {
+		for i := range src.counts {
+			h.counts[i].Add(src.counts[i].Load())
+		}
+	} else {
+		h.counts[len(h.counts)-1].Add(src.count.Load())
+	}
+	h.count.Add(src.count.Load())
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + src.Sum())
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in. Strict
+// allocation-count assertions skip under race: the detector's shadow-memory
+// bookkeeping allocates, so AllocsPerRun no longer measures our code.
+const raceEnabled = true

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry hands out named metric handles. Create-or-get is mutex-protected
+// and intended for setup paths; the returned handles are lock-free. All
+// lookups on a nil *Registry return nil handles, which discard updates, so a
+// single nil check at wiring time disables an entire instrumentation tree.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Bounds on later calls are
+// ignored — the first registration wins. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds src's values into r: counters and gauges add, histograms merge
+// bucket-wise (creating missing ones with src's bounds). Merging shards in a
+// fixed order after all writers have finished yields identical totals
+// regardless of how work was distributed, because every operation commutes.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range src.gauges {
+		r.Gauge(name).Add(g.Value())
+	}
+	for name, h := range src.hists {
+		r.Histogram(name, h.bounds).merge(h)
+	}
+}
+
+// Metric is one entry of a Registry snapshot.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge" or "histogram"
+	// Value holds the counter or gauge reading (as float64 for uniformity).
+	Value float64
+	// Histogram fields; nil/zero for scalar kinds.
+	Bounds  []float64
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot returns all metrics sorted by (name, kind). Sorting makes every
+// textual dump deterministic.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for name, h := range r.hists {
+		out = append(out, Metric{
+			Name: name, Kind: "histogram",
+			Bounds: h.Bounds(), Buckets: h.BucketCounts(),
+			Count: h.Count(), Sum: h.Sum(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// formatValue renders a metric value without an exponent (counters and
+// gauges are integers at heart; shortest-form 'f' keeps fractional sums
+// exact too).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// WriteText writes a human-readable metric dump, one metric per line,
+// deterministically ordered.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		switch m.Kind {
+		case "histogram":
+			var b strings.Builder
+			for i, bound := range m.Bounds {
+				fmt.Fprintf(&b, " le(%g)=%d", bound, m.Buckets[i])
+			}
+			fmt.Fprintf(&b, " le(+Inf)=%d", m.Buckets[len(m.Buckets)-1])
+			_, err = fmt.Fprintf(w, "histogram %s count=%d sum=%s%s\n", m.Name, m.Count, formatValue(m.Sum), b.String())
+		default:
+			_, err = fmt.Fprintf(w, "%s %s %s\n", m.Kind, m.Name, formatValue(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the metrics in Prometheus text exposition format
+// under a qntn_ prefix, deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		name := "qntn_" + m.Name
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Kind); err != nil {
+			return err
+		}
+		var err error
+		switch m.Kind {
+		case "histogram":
+			cum := uint64(0)
+			for i, bound := range m.Bounds {
+				cum += m.Buckets[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum); err != nil {
+					return err
+				}
+			}
+			cum += m.Buckets[len(m.Buckets)-1]
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(m.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", name, m.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatValue(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

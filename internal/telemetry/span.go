@@ -1,0 +1,34 @@
+package telemetry
+
+import "time"
+
+// Phase is a completed Span: a named wall-clock duration. Phases live only
+// in the run manifest — never in the Registry or event stream — so that
+// those stay bit-identical across runs of the same configuration.
+type Phase struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// Span measures the duration of a run phase against a caller-injected
+// clock. Nothing under internal/ reads the wall clock directly (the detrand
+// analyzer forbids it); cmd/qntnsim passes time.Now, tests pass a fake.
+type Span struct {
+	name  string
+	clock func() time.Time
+	start time.Time
+}
+
+// StartSpan starts timing a named phase against the given clock.
+func StartSpan(name string, clock func() time.Time) *Span {
+	return &Span{name: name, clock: clock, start: clock()}
+}
+
+// End stops the span and returns it as a manifest Phase. A nil span ends to
+// a zero Phase.
+func (s *Span) End() Phase {
+	if s == nil {
+		return Phase{}
+	}
+	return Phase{Name: s.name, WallNs: s.clock().Sub(s.start).Nanoseconds()}
+}
