@@ -1,15 +1,19 @@
 // Command qntnlint is the invariant-checking driver for the simulator: it
-// runs go vet's standard passes plus the four project analyzers
-// (unitsuffix, detrand, probrange, errcheckclose) over the given package
-// patterns and exits nonzero on any finding.
+// runs go vet's standard passes plus the project analyzers (unitsuffix,
+// detrand, probrange, errcheckclose, hotalloc, poolsafe, atomicmix) over
+// the given package patterns and exits nonzero on any finding. The
+// analyzers share a cross-package facts engine, so patterns are widened to
+// their in-module dependency closure before analysis.
 //
 // Usage:
 //
 //	go run ./cmd/qntnlint ./...
 //	go run ./cmd/qntnlint -vet=false ./internal/geo ./internal/orbit
+//	go run ./cmd/qntnlint -json=lint.json -gha ./...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +26,11 @@ import (
 func main() {
 	vet := flag.Bool("vet", true, "also run 'go vet' over the same patterns")
 	list := flag.Bool("analyzers", false, "list registered analyzers and exit")
+	jsonOut := flag.String("json", "", "also write diagnostics as JSON to `file` (\"-\" for stdout)")
+	gha := flag.Bool("gha", false, "emit GitHub Actions ::error workflow commands so findings annotate PR diffs")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: qntnlint [-vet=false] [packages]\n\nAnalyzers:\n")
+			"usage: qntnlint [-vet=false] [-json=file] [-gha] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -63,10 +69,47 @@ func main() {
 	}
 	for _, d := range diags {
 		fmt.Println(d.String())
+		if *gha {
+			fmt.Println(ghaCommand(d))
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "qntnlint: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if failed || len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// ghaCommand renders a diagnostic as a GitHub Actions workflow command, so
+// the runner attaches it to the matching line of the PR diff. Newlines and
+// the command metacharacters must be percent-escaped per the Actions spec.
+func ghaCommand(d lint.Diagnostic) string {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace
+	propEsc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C").Replace
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=qntnlint %s::%s",
+		propEsc(d.Position.Filename), d.Position.Line, d.Position.Column,
+		propEsc(d.Analyzer), esc(d.Message))
+}
+
+// writeJSON emits the machine-readable findings report.
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	if diags == nil {
+		diags = []lint.Diagnostic{} // [] rather than null for consumers
+	}
+	out, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // runVet shells out to the go tool so qntnlint gates on the standard vet

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qntn/internal/lint"
+)
+
+func diag() lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: "hotalloc",
+		Position: token.Position{Filename: "internal/qntn/stepcache.go", Line: 42, Column: 7},
+		Message:  "append may grow its backing array in //qntn:hotpath function qntn.Evaluate",
+	}
+}
+
+func TestGHACommand(t *testing.T) {
+	got := ghaCommand(diag())
+	want := "::error file=internal/qntn/stepcache.go,line=42,col=7," +
+		"title=qntnlint hotalloc::append may grow its backing array in //qntn:hotpath function qntn.Evaluate"
+	if got != want {
+		t.Errorf("ghaCommand:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestGHACommandEscaping checks the Actions workflow-command escaping:
+// %, CR and LF in the message; additionally : and , in properties.
+func TestGHACommandEscaping(t *testing.T) {
+	d := diag()
+	d.Position.Filename = "a,b:c.go"
+	d.Message = "50% of runs\nfail"
+	got := ghaCommand(d)
+	want := "::error file=a%2Cb%3Ac.go,line=42,col=7," +
+		"title=qntnlint hotalloc::50%25 of runs%0Afail"
+	if got != want {
+		t.Errorf("ghaCommand escaping:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.json")
+	if err := writeJSON(path, []lint.Diagnostic{diag()}); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []lint.Diagnostic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back) != 1 || back[0] != diag() {
+		t.Errorf("round-trip = %+v, want %+v", back, diag())
+	}
+}
+
+// TestWriteJSONEmpty pins the empty report to [] rather than null, which
+// is what makes the artifact safe for jq-style consumers.
+func TestWriteJSONEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.json")
+	if err := writeJSON(path, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "[]\n" {
+		t.Errorf("empty report = %q, want %q", got, "[]\n")
+	}
+}

@@ -45,6 +45,8 @@ func crossesWeather(ka, kb netsim.NodeKind) bool {
 
 // applyWeather attenuates eta during a blackout and re-gates it. The second
 // return is false when the blackout severs the link.
+//
+//qntn:hotpath
 func (m *Model) applyWeather(eta float64) (float64, bool) {
 	eta *= m.sched.cfg.WeatherAttenuation
 	if eta <= 0 || eta < m.minEta {
@@ -71,23 +73,19 @@ func (m *Model) Evaluate(a, b netsim.Node, t time.Duration) (float64, bool) {
 // BeginStep implements netsim.StepModel: per-node down bits and the weather
 // bit are resolved once per instant, then pair queries run against the
 // inner model's evaluator (its batched one when available).
+//
+//qntn:hotpath one call per topology step of every sweep worker
 func (m *Model) BeginStep(nodes []netsim.Node, t time.Duration) netsim.StepEvaluator {
 	se, _ := m.pool.Get().(*stepEval)
 	if se == nil {
+		//qntn:coldpath pool miss: first checkout constructs the evaluator
 		se = &stepEval{m: m}
 	}
 	if !se.sameNodes(nodes) {
+		//qntn:coldpath static caches rebuild only when the node set changes
 		se.init(nodes)
 	}
-	se.t = t
-	se.nodesDown = 0
-	for i := range se.nodes {
-		se.down[i] = spanAt(se.spans[i], t)
-		if se.down[i] {
-			se.nodesDown++
-		}
-	}
-	se.weather = m.sched.Weather(t)
+	se.reset(t)
 	if sm, ok := m.inner.(netsim.StepModel); ok {
 		se.inner = sm.BeginStep(nodes, t)
 	}
@@ -113,8 +111,27 @@ type stepEval struct {
 	inner     netsim.StepEvaluator // nil when the inner model is per-pair only
 }
 
+// reset refreshes the per-step fault state for instant t: one schedule
+// lookup per node plus the weather bit. Pooled evaluators carry the
+// previous step's bits, so every checkout must pass through here.
+//
+//qntn:hotpath
+func (se *stepEval) reset(t time.Duration) {
+	se.t = t
+	se.nodesDown = 0
+	for i := range se.nodes {
+		se.down[i] = spanAt(se.spans[i], t)
+		if se.down[i] {
+			se.nodesDown++
+		}
+	}
+	se.weather = se.m.sched.Weather(t)
+}
+
 // FaultStats implements netsim.FaultStatser: the fault state resolved for
 // this step.
+//
+//qntn:hotpath
 func (se *stepEval) FaultStats() (nodesDown int, weather bool) {
 	return se.nodesDown, se.weather
 }
@@ -122,6 +139,8 @@ func (se *stepEval) FaultStats() (nodesDown int, weather bool) {
 // PairStats implements netsim.PairStatser by forwarding the inner
 // evaluator's prefilter counts, so decorating a scenario with faults keeps
 // its telemetry visible.
+//
+//qntn:hotpath
 func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
 	if ps, ok := se.inner.(netsim.PairStatser); ok {
 		return ps.PairStats()
@@ -131,6 +150,8 @@ func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
 
 // sameNodes reports whether the static caches were built for exactly this
 // node slice (node identity, not just IDs).
+//
+//qntn:hotpath
 func (se *stepEval) sameNodes(nodes []netsim.Node) bool {
 	if len(se.nodes) != len(nodes) {
 		return false
@@ -172,6 +193,8 @@ func growBools(s []bool, n int) []bool {
 
 // EvaluatePair implements netsim.StepEvaluator, mirroring Model.Evaluate
 // exactly: down gate, inner physics, then the weather gate.
+//
+//qntn:hotpath every node pair of every step goes through here
 func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
 	if se.down[i] || se.down[j] {
 		return 0, false
@@ -194,6 +217,8 @@ func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
 
 // Close implements netsim.StepEvaluator, releasing the inner evaluator and
 // returning this one to the model's pool.
+//
+//qntn:hotpath
 func (se *stepEval) Close() {
 	if se.inner != nil {
 		se.inner.Close()

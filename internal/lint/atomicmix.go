@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags variables that are accessed through sync/atomic in one
+// place and by plain load or store in another. Mixing the two is not a
+// slightly-stale read — it is an outright data race: the plain access
+// carries no synchronization, so the race detector (and the memory model)
+// reject it, and on weak architectures the plain read can observe torn or
+// indefinitely stale values. This is the bug class one careless refactor
+// away whenever an atomic.AddUint64 counter grows a "just read it quickly"
+// accessor; the fix is to use atomic.Load/Store everywhere or switch the
+// field to the atomic.Uint64 wrapper types (which make plain access
+// impossible), as internal/telemetry does.
+//
+// Tracked variables are struct fields and package-level variables — the
+// shapes that outlive a single goroutine. Composite-literal keys are not
+// flagged: initialization before publication is the idiomatic construction
+// pattern.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed via sync/atomic must not also be accessed " +
+		"by plain load/store elsewhere",
+	Run: runAtomicMix,
+}
+
+// atomicCallPrefixes are the sync/atomic operation families that take &x.
+var atomicCallPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect the objects used atomically, and every identifier
+	// inside those atomic call arguments (so the &x in atomic.AddUint64(&x)
+	// is not itself "plain access").
+	atomicAt := make(map[types.Object]token.Pos)
+	inAtomic := make(map[*ast.Ident]bool)
+	inspectFiles(pass.Pkg.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || selectedPackagePath(info, sel) != "sync/atomic" {
+			return true
+		}
+		if !hasAtomicPrefix(sel.Sel.Name) || len(call.Args) == 0 {
+			return true
+		}
+		un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		if obj := addressedObject(info, un.X); obj != nil && sharedShape(pass, obj) {
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = call.Pos()
+			}
+		}
+		ast.Inspect(call.Args[0], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				inAtomic[id] = true
+			}
+			return true
+		})
+		return true
+	})
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	for _, file := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if id, ok := n.(*ast.Ident); ok && !inAtomic[id] {
+				obj := info.Uses[id]
+				if at, tracked := atomicAt[obj]; tracked && !isCompositeKey(stack, id) {
+					pass.Reportf(id.Pos(),
+						"%s is accessed atomically at %s but by plain load/store here; mixing the two is a data race",
+						id.Name, pass.Pkg.Fset.Position(at))
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasAtomicPrefix reports whether name is one of the sync/atomic operation
+// families (AddUint64, LoadInt32, CompareAndSwapPointer, ...).
+func hasAtomicPrefix(name string) bool {
+	for _, p := range atomicCallPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedObject resolves the variable whose address is taken: a struct
+// field selection or a plain identifier.
+func addressedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	}
+	return nil
+}
+
+// sharedShape reports whether obj is a struct field or package-level
+// variable — state that plausibly outlives one goroutine. Locals are left
+// to the race detector.
+func sharedShape(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.IsField() || v.Parent() == pass.Pkg.Types.Scope()
+}
+
+// isCompositeKey reports whether id is the key of a composite-literal
+// element (S{n: 0} — construction, not access).
+func isCompositeKey(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-2].(*ast.CompositeLit)
+	return ok
+}

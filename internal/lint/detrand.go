@@ -11,10 +11,19 @@ import (
 // state) and time.Now() (wall-clock coupling). Constructing a seeded
 // generator — rand.New(rand.NewSource(seed)) — is the approved pattern and
 // stays allowed.
+//
+// Beyond direct calls, the analyzer consults the cross-package facts
+// engine: a call from an internal package into a non-internal module
+// helper whose computed facts say it transitively reaches the wall clock
+// or the global rand source is flagged at the call site — the first
+// in-module frame — with the full call chain in the message. Internal
+// callees are not re-reported here, since they are flagged directly at
+// their own sink.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "simulation packages must use an injected seeded *rand.Rand and " +
-		"explicit timestamps, not global math/rand functions or time.Now",
+		"explicit timestamps, not global math/rand functions or time.Now " +
+		"(directly or through helpers)",
 	Run: runDetRand,
 }
 
@@ -35,27 +44,56 @@ func runDetRand(pass *Pass) error {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkgPath := selectedPackagePath(info, sel)
-		switch pkgPath {
-		case "math/rand", "math/rand/v2":
-			if !detRandAllowed[sel.Sel.Name] {
-				pass.Reportf(call.Pos(),
-					"rand.%s draws from the global math/rand source; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
-					sel.Sel.Name)
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			pkgPath := selectedPackagePath(info, sel)
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+				if !detRandAllowed[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global math/rand source; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+						sel.Sel.Name)
+				}
+				return true
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now couples the simulation to the wall clock; pass an explicit timestamp or simulated time instead")
+				}
+				return true
 			}
-		case "time":
-			if sel.Sel.Name == "Now" {
-				pass.Reportf(call.Pos(),
-					"time.Now couples the simulation to the wall clock; pass an explicit timestamp or simulated time instead")
-			}
 		}
+		reportTransitiveDetRand(pass, call)
 		return true
 	})
 	return nil
+}
+
+// reportTransitiveDetRand flags calls into non-internal module helpers
+// whose facts reach a determinism sink. Internal callees are skipped: they
+// are internal packages themselves, so the sink is flagged directly where
+// it occurs.
+func reportTransitiveDetRand(pass *Pass, call *ast.CallExpr) {
+	fn := staticCallee(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	fact := pass.Facts.ForFunc(fn)
+	if fact == nil {
+		return // outside the loaded module set
+	}
+	if importPathHasElement(fn.Pkg().Path(), "internal") {
+		return
+	}
+	if fact.WallClock != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively couples the simulation to the wall clock (%s); pass an explicit timestamp or simulated time instead",
+			shortFuncName(fn), fact.WallClock.describe())
+	}
+	if fact.GlobalRand != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively draws from the global math/rand source (%s); inject a seeded *rand.Rand instead",
+			shortFuncName(fn), fact.GlobalRand.describe())
+	}
 }
 
 // selectedPackagePath returns the import path of the package a selector

@@ -10,3 +10,10 @@ import (
 func TestDetRand(t *testing.T) {
 	linttest.Run(t, "testdata", lint.DetRand, "detrand/internal/sim")
 }
+
+// TestDetRandTransitive exercises the facts-driven upgrade: sinks hidden
+// two call frames deep inside a non-internal helper package are flagged at
+// the first in-module call site.
+func TestDetRandTransitive(t *testing.T) {
+	linttest.RunModule(t, "testdata", lint.DetRand, "detrandtrans")
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Directive is one //qntn:<verb> machine directive. Like Go's own //go:
+// directives, a qntn directive is a line comment whose text starts exactly
+// with "//qntn:" — no space after the slashes — so ordinary prose that
+// happens to mention qntn is never misread as an instruction.
+//
+// Verbs:
+//
+//   - hotpath: placed in a function's doc comment, it declares the function
+//     part of the per-step fast path. The hotalloc analyzer then rejects
+//     every allocation site in its body and every call into a helper whose
+//     computed facts say it allocates.
+//   - coldpath: placed on (or on the line above) a statement inside a
+//     hotpath function, it acknowledges an amortized or failure-only
+//     allocation — one-time buffer growth, pool-miss construction, error
+//     branches — and exempts that statement from hotalloc.
+//
+// Anything after the verb is a free-text rationale and is kept verbatim.
+type Directive struct {
+	Verb string
+	Arg  string
+}
+
+// directiveVerbs are the recognized qntn directive verbs.
+var directiveVerbs = map[string]bool{
+	"hotpath":  true,
+	"coldpath": true,
+}
+
+// ParseDirective parses one comment's raw text (with or without the leading
+// "//"). The second result reports whether the comment is a qntn directive
+// at all; non-directives (including "// qntn:..." with a space, block
+// comments, and other //tool: directives such as //go:build) return
+// (Directive{}, false, nil). A comment that is unmistakably aimed at this
+// tool but malformed — empty verb, unknown verb, or junk glued to the verb —
+// returns an error so typos fail loudly instead of silently disabling a
+// check.
+func ParseDirective(text string) (Directive, bool, error) {
+	if strings.HasPrefix(text, "/*") {
+		return Directive{}, false, nil
+	}
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(text, "qntn:") {
+		return Directive{}, false, nil
+	}
+	rest := strings.TrimPrefix(text, "qntn:")
+	verb := rest
+	arg := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	verb = strings.TrimRight(verb, "\r")
+	if verb == "" {
+		return Directive{}, false, fmt.Errorf("qntn directive with no verb")
+	}
+	for _, r := range verb {
+		if r < 'a' || r > 'z' {
+			return Directive{}, false, fmt.Errorf("malformed qntn directive verb %q", verb)
+		}
+	}
+	if !directiveVerbs[verb] {
+		return Directive{}, false, fmt.Errorf("unknown qntn directive %q (known: hotpath, coldpath)", verb)
+	}
+	return Directive{Verb: verb, Arg: arg}, true, nil
+}
+
+// coldLines maps filename -> set of line numbers carrying a coldpath
+// directive. A statement is coldpath-exempt when a directive sits on its
+// first line or on the line immediately above it (see exemptLine).
+type coldLines map[string]map[int]bool
+
+// exempt reports whether a node or statement starting at the given
+// file:line is covered by a coldpath directive.
+func (c coldLines) exempt(file string, line int) bool {
+	lines := c[file]
+	return lines[line] || lines[line-1]
+}
+
+// directiveProblem is a malformed or misplaced directive, reported by the
+// hotalloc analyzer (which owns the directive namespace).
+type directiveProblem struct {
+	pos ast.Node
+	msg string
+}
+
+// pkgDirectives is the parsed directive state of one package.
+type pkgDirectives struct {
+	// hot maps each //qntn:hotpath-annotated function declaration to its
+	// directive.
+	hot map[*ast.FuncDecl]Directive
+	// cold holds the coldpath directive lines per file.
+	cold coldLines
+	// problems are malformed or misplaced directives.
+	problems []directiveProblem
+}
+
+// collectDirectives parses every qntn directive in the package. hotpath
+// directives must live in a function's doc comment; a hotpath found
+// anywhere else is a problem (it would otherwise silently guard nothing).
+func collectDirectives(pkg *Package) *pkgDirectives {
+	d := &pkgDirectives{
+		hot:  make(map[*ast.FuncDecl]Directive),
+		cold: make(coldLines),
+	}
+	for _, file := range pkg.Files {
+		// Map doc-comment groups to their function declarations so hotpath
+		// placement can be validated.
+		docOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				docOf[fn.Doc] = fn
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				dir, ok, err := ParseDirective(c.Text)
+				if err != nil {
+					d.problems = append(d.problems, directiveProblem{pos: c, msg: err.Error()})
+					continue
+				}
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				switch dir.Verb {
+				case "hotpath":
+					fn, attached := docOf[group]
+					if !attached {
+						d.problems = append(d.problems, directiveProblem{
+							pos: c,
+							msg: "//qntn:hotpath must appear in a function's doc comment",
+						})
+						continue
+					}
+					d.hot[fn] = dir
+				case "coldpath":
+					lines := d.cold[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						d.cold[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				}
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,790 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the cross-package facts engine: for every function of every
+// loaded package it computes semantic summaries ("facts") by walking the
+// module's package import graph bottom-up, so analyzers in downstream
+// packages can ask about the transitive behavior of their dependencies
+// without re-walking them. It mirrors the facts mechanism of
+// golang.org/x/tools/go/analysis, but stays stdlib-only: facts are keyed by
+// the types.Func full name, which is stable across the separate
+// type-checking of each package.
+//
+// Facts computed per function:
+//
+//   - WallClock: the function transitively reaches time.Now/Since/Until.
+//   - GlobalRand: it transitively reaches a global math/rand top-level
+//     function (drawing from shared process state).
+//   - Allocates: its body contains an allocation site, or it calls a helper
+//     whose facts say so. Sites under a //qntn:coldpath directive and error
+//     construction inside return statements are excluded — those are
+//     acknowledged amortized/failure paths, not the steady state.
+//   - Retains: per-parameter, whether the function may store the argument
+//     somewhere that outlives the call (struct field, package variable,
+//     map, slice, channel, return value, or a callee that retains it).
+//
+// Calls are resolved statically: direct function calls and method calls on
+// concrete receivers. Calls through interfaces and function values are
+// invisible to the engine (documented limitation — the runtime AllocsPerRun
+// and -race gates remain the backstop for those).
+
+// Trace explains how a fact came to hold: the position and description of
+// the originating sink or allocation site, plus the chain of intermediate
+// in-module calls (outermost first) when the fact was inherited.
+type Trace struct {
+	Pos   token.Position
+	What  string
+	Chain []string
+}
+
+// describe renders the trace for a diagnostic message.
+func (t *Trace) describe() string {
+	if len(t.Chain) == 0 {
+		return t.What
+	}
+	return fmt.Sprintf("%s via %s", t.What, strings.Join(t.Chain, " → "))
+}
+
+// FuncFact is the computed summary of one function.
+type FuncFact struct {
+	// Key is the types.Func full name, e.g.
+	// "qntn/internal/geo.ToLLA" or "(*qntn/internal/routing.Graph).Reset".
+	Key string
+	// Hotpath reports whether the declaration carries //qntn:hotpath.
+	Hotpath bool
+	// WallClock, GlobalRand and Allocates are nil when the fact does not
+	// hold; otherwise they carry the evidence.
+	WallClock  *Trace
+	GlobalRand *Trace
+	Allocates  *Trace
+	// Retains[i] reports whether parameter i may be retained past the call.
+	Retains []bool
+}
+
+// FactSet holds the facts of every function of every loaded package, plus
+// the per-package directive state and per-declaration body summaries the
+// analyzers share.
+type FactSet struct {
+	fns  map[string]*FuncFact
+	dirs map[string]*pkgDirectives
+	sums map[*ast.FuncDecl]*funcSummary
+}
+
+// Lookup returns the fact for the given function key (types.Func full
+// name), or nil when the function is outside the loaded set.
+func (fs *FactSet) Lookup(key string) *FuncFact { return fs.fns[key] }
+
+// ForFunc returns the fact for fn, or nil when fn is outside the loaded
+// set.
+func (fs *FactSet) ForFunc(fn *types.Func) *FuncFact {
+	if fn == nil {
+		return nil
+	}
+	return fs.fns[fn.FullName()]
+}
+
+// Directives returns the parsed qntn directives of the given package path,
+// or nil.
+func (fs *FactSet) Directives(pkgPath string) *pkgDirectives { return fs.dirs[pkgPath] }
+
+// summary returns the body summary of decl, or nil.
+func (fs *FactSet) summary(decl *ast.FuncDecl) *funcSummary { return fs.sums[decl] }
+
+// allocSite is one allocation (or boxing) site in a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+	// box marks interface-boxing sites. Boxing is frequently elided by
+	// escape analysis when the callee does not retain its argument, so it
+	// contributes to direct hotalloc diagnostics inside annotated
+	// functions but never to the transitive Allocates fact.
+	box bool
+}
+
+// callInfo is one statically resolved call.
+type callInfo struct {
+	pos token.Pos
+	fn  *types.Func
+	// exempt marks calls under a //qntn:coldpath directive; they do not
+	// propagate the Allocates fact (determinism facts still do).
+	exempt bool
+	// argParams maps callee parameter index -> caller parameter index for
+	// arguments that are plain references to the caller's parameters
+	// (-1 otherwise). Used to propagate the Retains fact.
+	argParams []int
+}
+
+// funcSummary is the walked body of one declaration.
+type funcSummary struct {
+	decl   *ast.FuncDecl
+	fn     *types.Func
+	key    string
+	sites  []allocSite
+	calls  []callInfo
+	params []*types.Var
+}
+
+// --- stdlib knowledge -------------------------------------------------
+
+// wallClockFuncs are the stdlib entry points that couple a caller to the
+// wall clock.
+var wallClockFuncs = map[string]string{
+	"time.Now":   "time.Now()",
+	"time.Since": "time.Since()",
+	"time.Until": "time.Until()",
+}
+
+// globalRandFunc reports whether fn is a math/rand top-level function that
+// draws from the shared global source (generator constructors stay legal).
+func globalRandFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // *rand.Rand methods are the injected pattern
+	}
+	return !detRandAllowed[fn.Name()]
+}
+
+// allocatingStdlibPkgs are packages whose exported functions allocate as a
+// rule (formatted output and error construction).
+var allocatingStdlibPkgs = map[string]bool{"fmt": true}
+
+// allocatingStdlibFuncs is the curated set of individually known-allocating
+// stdlib functions. Stdlib calls outside this table are assumed clean —
+// the engine cannot see stdlib bodies, and flagging every unknown call
+// would bury real findings under math.Sqrt noise.
+var allocatingStdlibFuncs = map[string]bool{
+	"errors.New": true, "errors.Join": true,
+	"strings.Join": true, "strings.Repeat": true, "strings.Replace": true,
+	"strings.ReplaceAll": true, "strings.Split": true, "strings.SplitN": true,
+	"strings.SplitAfter": true, "strings.Fields": true, "strings.Map": true,
+	"strings.ToUpper": true, "strings.ToLower": true, "strings.Clone": true,
+	"strings.NewReader": true, "strings.NewReplacer": true,
+	"strconv.Itoa": true, "strconv.FormatInt": true, "strconv.FormatUint": true,
+	"strconv.FormatFloat": true, "strconv.Quote": true,
+	"strconv.AppendQuote": true, "strconv.AppendFloat": true, "strconv.AppendInt": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Strings": true,
+	"sort.Ints": true, "sort.Float64s": true, "sort.Sort": true,
+	"time.After": true, "time.NewTimer": true, "time.NewTicker": true,
+}
+
+// errorCtorFuncs build error values; calls to them inside return statements
+// are exempt from allocation accounting (failure is not the hot path).
+var errorCtorFuncs = map[string]bool{
+	"fmt.Errorf": true, "errors.New": true, "errors.Join": true,
+}
+
+// allocatingStdlib reports whether a call to fn is a known allocator.
+func allocatingStdlib(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if allocatingStdlibPkgs[pkg.Path()] {
+		return true
+	}
+	return allocatingStdlibFuncs[fn.FullName()]
+}
+
+// stdlibFact synthesizes the fact of a function outside the loaded set from
+// the curated tables above. The trace carries no position; callers
+// substitute the call site.
+func stdlibFact(fn *types.Func) *FuncFact {
+	f := &FuncFact{Key: fn.FullName()}
+	if what, ok := wallClockFuncs[f.Key]; ok {
+		f.WallClock = &Trace{What: what}
+	}
+	if globalRandFunc(fn) {
+		f.GlobalRand = &Trace{What: "rand." + fn.Name() + " (global math/rand source)"}
+	}
+	if allocatingStdlib(fn) {
+		f.Allocates = &Trace{What: "call to " + f.Key}
+	}
+	return f
+}
+
+// --- call resolution --------------------------------------------------
+
+// staticCallee resolves a call expression to the single function it must
+// invoke, or nil for dynamic calls (interface methods, function values,
+// builtins, conversions).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		var fn *types.Func
+		if sel, ok := info.Selections[f]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else if use, ok := info.Uses[f.Sel].(*types.Func); ok {
+			fn = use // package-qualified call
+		}
+		if fn == nil {
+			return nil
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil // dynamic dispatch
+			}
+		}
+		return fn
+	}
+	return nil
+}
+
+// shortFuncName compresses a full function name for messages by replacing
+// the package import path with the bare package name.
+func shortFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() != pkg.Name() {
+		full = strings.Replace(full, pkg.Path(), pkg.Name(), 1)
+	}
+	return full
+}
+
+// --- body walking -----------------------------------------------------
+
+// bodyWalker scans one declaration body for allocation sites and resolved
+// calls, honoring coldpath directives.
+type bodyWalker struct {
+	pkg      *Package
+	cold     coldLines
+	paramIdx map[types.Object]int
+	stack    []ast.Node
+	sites    []allocSite
+	calls    []callInfo
+}
+
+// exemptAt reports whether pos, or any enclosing statement, is covered by a
+// coldpath directive (on the same line or the line above).
+func (w *bodyWalker) exemptAt(pos token.Pos) bool {
+	p := w.pkg.Fset.Position(pos)
+	if w.cold.exempt(p.Filename, p.Line) {
+		return true
+	}
+	for _, n := range w.stack {
+		if _, ok := n.(ast.Stmt); !ok {
+			continue
+		}
+		sp := w.pkg.Fset.Position(n.Pos())
+		if w.cold.exempt(sp.Filename, sp.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// inReturn reports whether the walker is inside a return statement.
+func (w *bodyWalker) inReturn() bool {
+	for _, n := range w.stack {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// parent returns the immediate enclosing node.
+func (w *bodyWalker) parent() ast.Node {
+	if len(w.stack) == 0 {
+		return nil
+	}
+	return w.stack[len(w.stack)-1]
+}
+
+// site records an allocation site unless a coldpath directive covers it.
+func (w *bodyWalker) site(pos token.Pos, what string, box bool) {
+	if w.exemptAt(pos) {
+		return
+	}
+	w.sites = append(w.sites, allocSite{pos: pos, what: what, box: box})
+}
+
+func (w *bodyWalker) walk(body ast.Node) {
+	info := w.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.visitCall(n, info)
+		case *ast.CompositeLit:
+			w.visitCompositeLit(n, info)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					w.site(n.Pos(), "address of composite literal escapes to the heap", false)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && w.isNonConstString(n, info) {
+				w.site(n.Pos(), "string concatenation allocates", false)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ie, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := typeUnder(info, ie.X).(*types.Map); isMap {
+						w.site(lhs.Pos(), "assignment into a map may allocate", false)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(n, info, body); len(captured) > 0 {
+				w.site(n.Pos(), fmt.Sprintf("closure captures %s and allocates", strings.Join(captured, ", ")), false)
+			}
+		case *ast.GoStmt:
+			w.site(n.Pos(), "go statement allocates a goroutine", false)
+		}
+		w.stack = append(w.stack, n)
+		return true
+	})
+}
+
+// visitCall classifies one call: builtin allocators, stdlib allocators and
+// wall-clock/rand sinks, interface boxing of arguments, and statically
+// resolved callees for fact propagation.
+func (w *bodyWalker) visitCall(call *ast.CallExpr, info *types.Info) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					switch typeUnder(info, call.Args[0]).(type) {
+					case *types.Map:
+						w.site(call.Pos(), "make of a map allocates", false)
+					case *types.Chan:
+						w.site(call.Pos(), "make of a channel allocates", false)
+					case *types.Slice:
+						w.site(call.Pos(), "make of a slice allocates", false)
+					}
+				}
+			case "new":
+				w.site(call.Pos(), "new allocates", false)
+			case "append":
+				w.site(call.Pos(), "append may grow its backing array", false)
+			}
+			return
+		}
+	}
+	// Conversions to interface types box their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && w.boxable(call.Args[0], info) {
+			w.site(call.Pos(), "conversion boxes a concrete value into an interface", false)
+		}
+		return
+	}
+
+	fn := staticCallee(info, call)
+	if fn != nil {
+		w.calls = append(w.calls, callInfo{
+			pos:       call.Pos(),
+			fn:        fn,
+			exempt:    w.exemptAt(call.Pos()) || (w.inReturn() && errorCtorFuncs[fn.FullName()]),
+			argParams: w.argParamMap(call, fn),
+		})
+	}
+
+	// Interface boxing of call arguments. Skipped for error constructors
+	// inside returns — the failure path is exempt wholesale.
+	if fn != nil && w.inReturn() && errorCtorFuncs[fn.FullName()] {
+		return
+	}
+	sig := callSignature(info, call)
+	if sig == nil && fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if w.boxable(arg, info) {
+			w.site(arg.Pos(), fmt.Sprintf("argument %d boxes a concrete value into an interface", i+1), true)
+		}
+	}
+}
+
+// visitCompositeLit flags bare slice and map literals (heap-backed); struct
+// and array value literals live on the stack and stay silent. Literals
+// under a unary & are reported by the UnaryExpr case instead.
+func (w *bodyWalker) visitCompositeLit(cl *ast.CompositeLit, info *types.Info) {
+	if p, ok := w.parent().(*ast.UnaryExpr); ok && p.Op == token.AND {
+		return
+	}
+	switch typeUnder(info, cl).(type) {
+	case *types.Slice:
+		w.site(cl.Pos(), "slice literal allocates", false)
+	case *types.Map:
+		w.site(cl.Pos(), "map literal allocates", false)
+	}
+}
+
+// isNonConstString reports whether the binary expression is a non-constant
+// string concatenation.
+func (w *bodyWalker) isNonConstString(be *ast.BinaryExpr, info *types.Info) bool {
+	tv, ok := info.Types[be]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxable reports whether converting expr to an interface requires a heap
+// box: a non-constant value of concrete, non-pointer-shaped type.
+func (w *bodyWalker) boxable(expr ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := tv.Type.Underlying().(*types.Basic)
+		return b.Kind() != types.UnsafePointer && b.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// argParamMap maps callee parameter indices to the caller parameter passed
+// there (or -1), for Retains propagation.
+func (w *bodyWalker) argParamMap(call *ast.CallExpr, fn *types.Func) []int {
+	if len(w.paramIdx) == 0 {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]int, sig.Params().Len())
+	for i := range out {
+		out[i] = -1
+	}
+	info := w.pkg.Info
+	any := false
+	for i, arg := range call.Args {
+		if i >= len(out) {
+			break
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if pi, ok := w.paramIdx[info.Uses[id]]; ok {
+			out[i] = pi
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// paramTypeAt returns the type of the parameter receiving argument i, nil
+// when it cannot be determined. Variadic expansion with an explicit ...
+// passes the slice through without boxing.
+func paramTypeAt(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && !ellipsis && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// typeUnder returns the underlying type of an expression, or nil.
+func typeUnder(info *types.Info, expr ast.Expr) types.Type {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// capturedVars lists (up to 3) variables a function literal captures from
+// its enclosing function.
+func capturedVars(lit *ast.FuncLit, info *types.Info, encl ast.Node) []string {
+	var out []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration but outside
+		// the literal.
+		if v.Pos() >= encl.Pos() && v.Pos() <= encl.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			seen[v] = true
+			if len(out) < 3 {
+				out = append(out, v.Name())
+			}
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// --- fact computation -------------------------------------------------
+
+// ComputeFacts walks every package bottom-up over the import graph
+// (restricted to the loaded set) and returns the resulting fact set.
+func ComputeFacts(pkgs []*Package) *FactSet {
+	fs := &FactSet{
+		fns:  make(map[string]*FuncFact),
+		dirs: make(map[string]*pkgDirectives),
+		sums: make(map[*ast.FuncDecl]*funcSummary),
+	}
+	for _, pkg := range topoSort(pkgs) {
+		fs.addPackage(pkg)
+	}
+	return fs
+}
+
+// topoSort orders packages dependencies-first, considering only imports
+// that resolve within the given set.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.Path] != 0 {
+			return
+		}
+		state[p.Path] = 1
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[path]; ok && state[path] == 0 {
+					visit(dep)
+				}
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// addPackage summarizes every declaration of pkg and runs the intra-package
+// fixpoint (handling recursion and mutual calls) against the facts of the
+// already-processed dependency packages.
+func (fs *FactSet) addPackage(pkg *Package) {
+	dirs := collectDirectives(pkg)
+	fs.dirs[pkg.Path] = dirs
+
+	var sums []*funcSummary
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := summarize(pkg, fn, obj, dirs.cold)
+			sums = append(sums, s)
+			fs.sums[fn] = s
+			fact := &FuncFact{Key: s.key, Retains: make([]bool, len(s.params))}
+			if _, hot := dirs.hot[fn]; hot {
+				fact.Hotpath = true
+			}
+			// Direct allocation sites (boxing excluded: escape analysis
+			// usually elides it, so it never crosses function boundaries).
+			for _, site := range s.sites {
+				if !site.box {
+					fact.Allocates = &Trace{Pos: pkg.Fset.Position(site.pos), What: site.what}
+					break
+				}
+			}
+			// Direct local retention.
+			localRetains(pkg, fn, s.params, fact.Retains)
+			fs.fns[s.key] = fact
+		}
+	}
+
+	// Fixpoint over the package's call edges: callee facts flow into
+	// callers until nothing changes (bounded by the number of facts).
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			f := fs.fns[s.key]
+			for _, c := range s.calls {
+				cf := fs.fns[c.fn.FullName()]
+				if cf == nil {
+					cf = stdlibFact(c.fn)
+				}
+				if cf.WallClock != nil && f.WallClock == nil {
+					f.WallClock = deriveTrace(pkg, c, cf.WallClock)
+					changed = true
+				}
+				if cf.GlobalRand != nil && f.GlobalRand == nil {
+					f.GlobalRand = deriveTrace(pkg, c, cf.GlobalRand)
+					changed = true
+				}
+				if cf.Allocates != nil && f.Allocates == nil && !c.exempt {
+					f.Allocates = deriveTrace(pkg, c, cf.Allocates)
+					changed = true
+				}
+				for calleeIdx, callerIdx := range c.argParams {
+					if callerIdx >= 0 && calleeIdx < len(cf.Retains) && cf.Retains[calleeIdx] && !f.Retains[callerIdx] {
+						f.Retains[callerIdx] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// deriveTrace builds the caller's trace from a callee's: stdlib sinks (no
+// position) anchor at the call site; in-module traces keep the original
+// sink position and grow the chain.
+func deriveTrace(pkg *Package, c callInfo, t *Trace) *Trace {
+	if !t.Pos.IsValid() {
+		return &Trace{Pos: pkg.Fset.Position(c.pos), What: t.What}
+	}
+	chain := make([]string, 0, len(t.Chain)+1)
+	chain = append(chain, shortFuncName(c.fn))
+	chain = append(chain, t.Chain...)
+	return &Trace{Pos: t.Pos, What: t.What, Chain: chain}
+}
+
+// summarize walks one declaration body.
+func summarize(pkg *Package, decl *ast.FuncDecl, obj *types.Func, cold coldLines) *funcSummary {
+	s := &funcSummary{decl: decl, fn: obj, key: obj.FullName()}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			s.params = append(s.params, sig.Params().At(i))
+		}
+	}
+	w := &bodyWalker{pkg: pkg, cold: cold, paramIdx: make(map[types.Object]int, len(s.params))}
+	for i, p := range s.params {
+		w.paramIdx[p] = i
+	}
+	w.walk(decl.Body)
+	s.sites = w.sites
+	s.calls = w.calls
+	return s
+}
+
+// localRetains marks parameters the body directly retains: assigned to a
+// selector, index or package-level variable; appended; used as a map key or
+// value; sent on a channel; or returned.
+func localRetains(pkg *Package, decl *ast.FuncDecl, params []*types.Var, out []bool) {
+	if len(params) == 0 {
+		return
+	}
+	info := pkg.Info
+	idx := make(map[types.Object]int, len(params))
+	for i, p := range params {
+		idx[p] = i
+	}
+	paramIndex := func(expr ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		i, ok := idx[info.Uses[id]]
+		return i, ok
+	}
+	nonLocalLHS := func(expr ast.Expr) bool {
+		switch lhs := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		case *ast.Ident:
+			if v, ok := info.Uses[lhs].(*types.Var); ok {
+				return v.Parent() == pkg.Types.Scope() // package-level
+			}
+		}
+		return false
+	}
+	mark := func(expr ast.Expr) {
+		if i, ok := paramIndex(expr); ok {
+			out[i] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					if nonLocalLHS(n.Lhs[i]) {
+						mark(n.Rhs[i])
+					}
+				}
+			} else {
+				anyNonLocal := false
+				for _, lhs := range n.Lhs {
+					if nonLocalLHS(lhs) {
+						anyNonLocal = true
+					}
+				}
+				if anyNonLocal {
+					for _, rhs := range n.Rhs {
+						mark(rhs)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					for _, a := range n.Args[1:] {
+						mark(a)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

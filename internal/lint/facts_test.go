@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qntn/internal/lint"
+)
+
+// TestComputeFacts loads the multi-package fixture tree and checks the
+// cross-package facts the analyzers consume: transitive wall-clock and
+// global-rand reachability (with the call chain), allocation summaries,
+// argument retention, and the hotpath flag.
+func TestComputeFacts(t *testing.T) {
+	pkgs, err := lint.LoadTree(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("load tree: %v", err)
+	}
+	fs := lint.ComputeFacts(pkgs)
+
+	get := func(key string) *lint.FuncFact {
+		t.Helper()
+		f := fs.Lookup(key)
+		if f == nil {
+			t.Fatalf("no fact for %s", key)
+		}
+		return f
+	}
+
+	// Wall clock two frames deep: Clock -> now -> time.Now.
+	clock := get("detrandtrans/util.Clock")
+	if clock.WallClock == nil {
+		t.Fatalf("util.Clock: want WallClock fact")
+	}
+	if d := clock.WallClock.Chain; len(d) != 1 || d[0] != "util.now" {
+		t.Errorf("util.Clock chain = %v, want [util.now]", d)
+	}
+	if !strings.Contains(clock.WallClock.Pos.Filename, "util.go") {
+		t.Errorf("util.Clock trace anchored at %s, want util.go", clock.WallClock.Pos.Filename)
+	}
+
+	// Global rand through a helper; seeded construction stays clean.
+	if get("detrandtrans/util.Jitter").GlobalRand == nil {
+		t.Errorf("util.Jitter: want GlobalRand fact")
+	}
+	if f := get("detrandtrans/util.Seeded"); f.GlobalRand != nil {
+		t.Errorf("util.Seeded: unexpected GlobalRand fact (%s)", f.GlobalRand.What)
+	}
+	if f := get("detrandtrans/util.Pure"); f.WallClock != nil || f.GlobalRand != nil || f.Allocates != nil {
+		t.Errorf("util.Pure: want no facts")
+	}
+
+	// Allocation summaries and the hotpath flag.
+	if get("hotalloc/helper.Grow").Allocates == nil {
+		t.Errorf("helper.Grow: want Allocates fact")
+	}
+	if f := get("hotalloc/helper.Sum"); f.Allocates != nil {
+		t.Errorf("helper.Sum: unexpected Allocates fact (%s)", f.Allocates.What)
+	}
+	if get("hotalloc/helper.Format").Allocates == nil {
+		t.Errorf("helper.Format: want Allocates fact via fmt.Sprintf")
+	}
+	if !get("hotalloc/hot.Evaluate").Hotpath {
+		t.Errorf("hot.Evaluate: want Hotpath flag")
+	}
+
+	// Argument retention across the package boundary.
+	if f := get("poolsafe/sink.Keep"); len(f.Retains) != 1 || !f.Retains[0] {
+		t.Errorf("sink.Keep Retains = %v, want [true]", f.Retains)
+	}
+	if f := get("poolsafe/sink.Use"); len(f.Retains) != 1 || f.Retains[0] {
+		t.Errorf("sink.Use Retains = %v, want [false]", f.Retains)
+	}
+}

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"qntn/internal/lint"
+)
+
+// FuzzParseDirective drives the //qntn: directive parser with arbitrary
+// comment text and checks its invariants: it never panics, never reports
+// both a parsed directive and an error, only yields known verbs, and
+// ignores anything that is not unmistakably aimed at the tool.
+func FuzzParseDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//qntn:hotpath",
+		"//qntn:hotpath one call per pair per step",
+		"//qntn:coldpath amortized growth",
+		"//qntn:hotpth typo",
+		"//qntn:",
+		"//qntn:hotpath\r",
+		"//qntn:HOTPATH",
+		"//qntn:hot path",
+		"// qntn:hotpath",
+		"/*qntn:hotpath*/",
+		"//go:build linux",
+		"//qntn:coldpath\targ after tab",
+		"qntn:hotpath no slashes",
+		"//qntn:cold\x00path",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		dir, ok, err := lint.ParseDirective(text)
+		if ok && err != nil {
+			t.Fatalf("ParseDirective(%q): both ok and err=%v", text, err)
+		}
+		if !ok && err == nil && dir != (lint.Directive{}) {
+			t.Fatalf("ParseDirective(%q): non-directive returned %+v", text, dir)
+		}
+		if ok {
+			if dir.Verb != "hotpath" && dir.Verb != "coldpath" {
+				t.Fatalf("ParseDirective(%q): unknown verb %q accepted", text, dir.Verb)
+			}
+			if dir.Arg != strings.TrimSpace(dir.Arg) {
+				t.Fatalf("ParseDirective(%q): arg %q not trimmed", text, dir.Arg)
+			}
+		}
+		// Block comments and prose are never directives, with or without
+		// an error.
+		trimmed := strings.TrimPrefix(text, "//")
+		if strings.HasPrefix(text, "/*") || !strings.HasPrefix(trimmed, "qntn:") {
+			if ok || err != nil {
+				t.Fatalf("ParseDirective(%q): non-directive got ok=%v err=%v", text, ok, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package lint
+
+import "go/ast"
+
+// HotAlloc enforces the zero-allocation invariant on the per-step fast
+// path. A function whose doc comment carries //qntn:hotpath must contain no
+// allocation sites — escaping composite literals, make of maps/chans/
+// slices, growing append, capturing closures, interface boxing, fmt calls
+// and string concatenation — and must not call an in-module helper whose
+// cross-package facts say it allocates (unless that helper is itself
+// hotpath-annotated, in which case it is checked at its own declaration).
+//
+// Two escape hatches keep the invariant honest rather than noisy:
+// statements under //qntn:coldpath (amortized growth, pool-miss
+// construction) are exempt, and error construction directly inside a
+// return statement is auto-exempt — failure is not the hot path.
+//
+// The analyzer also owns the //qntn: directive namespace: malformed verbs
+// and hotpath directives outside a function doc comment are reported here,
+// so a typo fails the build instead of silently guarding nothing.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions marked //qntn:hotpath must not allocate, directly or " +
+		"through helpers (per the cross-package facts engine)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	dirs := pass.Facts.Directives(pass.Pkg.Path)
+	if dirs == nil {
+		return nil
+	}
+	for _, p := range dirs.problems {
+		pass.Reportf(p.pos.Pos(), "%s", p.msg)
+	}
+	for decl := range dirs.hot {
+		sum := pass.Facts.summary(decl)
+		if sum == nil {
+			continue // declaration without a body
+		}
+		name := shortFuncName(sum.fn)
+		for _, site := range sum.sites {
+			pass.Reportf(site.pos, "%s in //qntn:hotpath function %s", site.what, name)
+		}
+		for _, c := range sum.calls {
+			if c.exempt {
+				continue
+			}
+			cf := pass.Facts.ForFunc(c.fn)
+			if cf == nil || cf.Allocates == nil || cf.Hotpath {
+				// Outside the module, clean, or itself annotated (checked
+				// at its own declaration — avoids cascading reports).
+				continue
+			}
+			pass.Reportf(c.pos, "call from //qntn:hotpath function %s to %s, which allocates (%s)",
+				name, shortFuncName(c.fn), cf.Allocates.describe())
+		}
+	}
+	return nil
+}
+
+// declaredFuncs returns the function declarations of the package's files in
+// source order (helper shared by analyzers that walk declarations).
+func declaredFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}

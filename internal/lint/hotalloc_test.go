@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qntn/internal/lint"
+	"qntn/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.RunModule(t, "testdata", lint.HotAlloc, "hotalloc")
+}
+
+// TestHotAllocDirectiveProblems asserts directly on the diagnostics for
+// malformed and misplaced directives: their positions land on the
+// directive's own line, where a want comment cannot sit.
+func TestHotAllocDirectiveProblems(t *testing.T) {
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", "hotallocbad"), "hotallocbad")
+	if err != nil {
+		t.Fatalf("load hotallocbad: %v", err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.HotAlloc})
+	if err != nil {
+		t.Fatalf("run hotalloc: %v", err)
+	}
+	want := []string{
+		"//qntn:hotpath must appear in a function's doc comment",
+		`unknown qntn directive "hotpth"`,
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %+v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}

@@ -1,8 +1,9 @@
 // Package lint is a self-contained static-analysis framework plus the
 // QNTN-specific invariant analyzers that run over it. It mirrors the shape
-// of golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
-// built entirely on the standard library's go/ast, go/parser, go/types and
-// go/importer packages, so the linter needs no third-party dependency.
+// of golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic / facts)
+// but is built entirely on the standard library's go/ast, go/parser,
+// go/types and go/importer packages, so the linter needs no third-party
+// dependency.
 //
 // The invariants it enforces are the ones the Go type system cannot see:
 //
@@ -12,7 +13,8 @@
 //   - detrand: simulation packages must draw randomness from an injected
 //     seeded *rand.Rand and take timestamps as arguments — global
 //     math/rand top-level functions and time.Now() break movement-sheet
-//     replay determinism.
+//     replay determinism, even when hidden two helpers deep (the
+//     cross-package facts engine flags the first in-module call frame).
 //   - probrange: probability/fidelity/transmissivity-named values must not
 //     be assigned literals outside [0,1], and channel/quantum functions
 //     applying math.Sqrt/math.Log* to parameters must carry a NaN guard
@@ -20,15 +22,27 @@
 //   - errcheckclose: errors from Close/Flush/Write/Sync must not be
 //     silently discarded — a dropped writer error corrupts movement sheets
 //     and experiment CSVs without any symptom.
+//   - hotalloc: functions annotated //qntn:hotpath must contain no
+//     allocation sites and call no allocating helpers (checked through the
+//     facts engine), keeping the per-step fast path zero-alloc by
+//     construction rather than by AllocsPerRun luck.
+//   - poolsafe: sync.Pool discipline — checked type assertions on Get,
+//     reset before reuse, no pooled value escaping into longer-lived
+//     storage, pointer-shaped values only.
+//   - atomicmix: a field accessed via sync/atomic in one place must not be
+//     accessed by plain load/store in another.
 //
-// cmd/qntnlint composes all four (plus `go vet`) into a one-command gate.
+// cmd/qntnlint composes all analyzers (plus `go vet`) into a one-command
+// gate.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one invariant checker. It mirrors
@@ -46,7 +60,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Facts holds the cross-package function facts of the whole loaded
+	// set, computed bottom-up before any analyzer runs.
+	Facts  *FactSet
+	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic at pos.
@@ -58,11 +75,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. The JSON form is what `qntnlint -json` emits.
 type Diagnostic struct {
-	Analyzer string
-	Position token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -72,24 +89,58 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitSuffix, DetRand, ProbRange, ErrCheckClose}
+	return []*Analyzer{UnitSuffix, DetRand, ProbRange, ErrCheckClose, HotAlloc, PoolSafe, AtomicMix}
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position.
+// RunAnalyzers computes cross-package facts over every loaded package
+// (dependencies first), then applies every analyzer to every target
+// package and returns the findings sorted by position. Packages are
+// analyzed concurrently — analysis is read-only after fact computation —
+// which also means a race-built linter run doubles as a race check on the
+// framework itself.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	facts := ComputeFacts(pkgs)
+
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+		errs  []error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
-			}
+		if !pkg.Target {
+			continue
 		}
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Diagnostic
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer: a,
+					Pkg:      pkg,
+					Facts:    facts,
+					report:   func(d Diagnostic) { local = append(local, d) },
+				}
+				if err := a.Run(pass); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err))
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			diags = append(diags, local...)
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, errs[0]
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
@@ -102,7 +153,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

@@ -50,6 +50,46 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunModule loads the whole directory tree rooted at testdata/src/<root> as
+// a miniature module (import paths relative to testdata/src, so a package
+// at testdata/src/hotalloc/helper imports as "hotalloc/helper"), computes
+// cross-package facts over all of it, runs the analyzer on every package,
+// and checks the combined diagnostics against the tree's want comments.
+// This is the harness for analyzers whose findings depend on fact
+// propagation across package boundaries.
+func RunModule(t *testing.T, testdata string, a *lint.Analyzer, root string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	pkgs, err := lint.LoadTree(src)
+	if err != nil {
+		t.Fatalf("load tree %s: %v", src, err)
+	}
+	// Restrict analysis to packages under root; the rest of testdata/src
+	// stays loaded for imports but reports nothing.
+	var wants []*expectation
+	var kept []*lint.Package
+	for _, pkg := range pkgs {
+		if pkg.Path != root && !strings.HasPrefix(pkg.Path, root+"/") {
+			pkg.Target = false
+			continue
+		}
+		kept = append(kept, pkg)
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("parse want comments in %s: %v", pkg.Path, err)
+		}
+		wants = append(wants, w...)
+	}
+	if len(kept) == 0 {
+		t.Fatalf("no packages under %s in %s", root, src)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, root, err)
+	}
+	check(t, root, diags, wants)
+}
+
 // check matches diagnostics against expectations one-to-one by file+line.
 func check(t *testing.T, pkg string, diags []lint.Diagnostic, wants []*expectation) {
 	t.Helper()

@@ -24,6 +24,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Target reports whether the package was matched by the load patterns
+	// (as opposed to being pulled in as a dependency for fact computation).
+	// Analyzers only report diagnostics for target packages.
+	Target bool
 }
 
 // pathElements returns the slash-separated elements of the import path.
@@ -47,38 +51,84 @@ func (p *Package) lastPathElement() string {
 	return el[len(el)-1]
 }
 
-// Load enumerates the packages matching the go-command patterns (for
-// example "./...") via `go list`, then parses and type-checks each from
-// source. Test files (_test.go) are excluded: the invariants guard
-// production simulation paths, and test helpers legitimately use patterns
-// (fixed literals, buffers whose Close never fails) the analyzers flag.
-func Load(patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+// importPathHasElement reports whether elem appears as an element of the
+// slash-separated import path.
+func importPathHasElement(path, elem string) bool {
+	for _, e := range strings.Split(path, "/") {
+		if e == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// goList runs `go list` with the given format and patterns and returns the
+// output lines.
+func goList(format string, extra []string, patterns ...string) ([]string, error) {
+	args := append([]string{"list"}, extra...)
+	args = append(args, "-f", format)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var lines []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, nil
+}
+
+// Load enumerates the packages matching the go-command patterns (for
+// example "./...") via `go list`, widens the set to their in-module
+// dependency closure (so cross-package facts see every helper the targets
+// call), then parses and type-checks each from source. Only the
+// pattern-matched packages are marked Target; facts are computed for all,
+// diagnostics reported only for targets. Test files (_test.go) are
+// excluded: the invariants guard production simulation paths, and test
+// helpers legitimately use patterns (fixed literals, buffers whose Close
+// never fails) the analyzers flag.
+func Load(patterns ...string) ([]*Package, error) {
+	targets, err := goList("{{.ImportPath}}", nil, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+
+	// The dependency closure, restricted to packages that belong to a
+	// module (dropping the stdlib, which the source importer handles).
+	lines, err := goList("{{.ImportPath}}\t{{.Dir}}\t{{if .Module}}{{.Module.Path}}{{end}}", []string{"-deps"}, patterns...)
+	if err != nil {
+		return nil, err
 	}
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 
 	var pkgs []*Package
-	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
-		if line == "" {
-			continue
-		}
-		path, dir, ok := strings.Cut(line, "\t")
-		if !ok {
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
 			return nil, fmt.Errorf("lint: malformed go list line %q", line)
+		}
+		path, dir, module := parts[0], parts[1], parts[2]
+		if module == "" {
+			continue // stdlib dependency
 		}
 		pkg, err := loadDir(fset, imp, dir, path)
 		if err != nil {
 			return nil, err
 		}
 		if pkg != nil {
+			pkg.Target = targetSet[path]
 			pkgs = append(pkgs, pkg)
 		}
 	}
@@ -87,7 +137,7 @@ func Load(patterns ...string) ([]*Package, error) {
 
 // LoadDir parses and type-checks the single package in dir, giving it the
 // provided import path. It is the entry point used by the linttest harness
-// for testdata packages that live outside the module.
+// for standalone testdata packages that live outside the module.
 func LoadDir(dir, importPath string) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
@@ -98,6 +148,112 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if pkg == nil {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
+	pkg.Target = true
+	return pkg, nil
+}
+
+// LoadTree loads every package in the directory tree rooted at root as a
+// miniature module: import paths are root-relative ("hotalloc/helper"), and
+// imports between packages of the tree resolve against it, so cross-package
+// fact propagation is exercised exactly as in a real module. Imports not
+// found under root fall back to the source importer (stdlib). This is the
+// entry point for the linttest multi-package harness.
+func LoadTree(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	m := &moduleImporter{
+		fset:     fset,
+		root:     root,
+		cache:    make(map[string]*Package),
+		loading:  make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var paths []string
+	err := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(root, dir)
+				if err != nil {
+					return err
+				}
+				paths = append(paths, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walk %s: %w", root, err)
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkg.Target = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages under %s", root)
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves import paths against a testdata directory tree,
+// falling back to the source importer for everything else (stdlib). It is
+// handed to the type checker, so imports between testdata packages load
+// recursively on demand.
+type moduleImporter struct {
+	fset     *token.FileSet
+	root     string
+	cache    map[string]*Package
+	loading  map[string]bool
+	fallback types.Importer
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	pkg, err := m.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		return pkg.Types, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// load parses and type-checks the tree package at the given root-relative
+// path, returning (nil, nil) when no such directory exists (the caller
+// falls back to the source importer).
+func (m *moduleImporter) load(path string) (*Package, error) {
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(m.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+	pkg, err := loadDir(m.fset, m, dir, path)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[path] = pkg
 	return pkg, nil
 }
 

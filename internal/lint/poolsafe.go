@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolSafe enforces the sync.Pool discipline the per-step evaluator caches
+// rely on. Pooled objects are recycled across goroutines and steps, so
+// every slip in the protocol is either a data race or a stale-state bug
+// that only reproduces under contention:
+//
+//   - Get's result must go through a comma-ok type assertion — a bare
+//     assertion panics the first time the pool is seeded with a different
+//     type, and an unasserted interface value defeats the cache entirely.
+//   - If the pooled type has a reset/init-style method, the function that
+//     Gets the value must call it before use; pool.Get returns objects
+//     still carrying the previous step's state.
+//   - A pooled value must not escape its checkout: storing it into a
+//     struct field, package variable, map, slice or channel — or passing
+//     it to a helper whose facts say the argument is retained — lets it
+//     outlive Put and be mutated concurrently by the next holder. Returns
+//     are allowed only when the type has a Close method, the repo's
+//     caller-must-Close handoff discipline.
+//   - Put must receive a pointer-shaped value; putting structs or slices
+//     boxes a copy on every Put, which is the allocation the pool existed
+//     to avoid.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc: "sync.Pool values must be type-checked on Get, reset before " +
+		"reuse, must not escape their checkout, and must be pointer-shaped",
+	Run: runPoolSafe,
+}
+
+// pooledVar is one checked-out pool value inside a function.
+type pooledVar struct {
+	obj types.Object
+	typ types.Type // asserted type
+	pos ast.Node
+}
+
+func runPoolSafe(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, decl := range declaredFuncs(pass.Pkg.Files) {
+		checkPoolFunc(pass, info, decl)
+	}
+	return nil
+}
+
+func checkPoolFunc(pass *Pass, info *types.Info, decl *ast.FuncDecl) {
+	// Pass 1: find checked Get assignments and record pooled variables.
+	handled := make(map[*ast.CallExpr]bool)
+	var pooled []pooledVar
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+		if !ok || !isPoolCall(info, call, "Get") {
+			return true
+		}
+		handled[call] = true
+		if len(as.Lhs) != 2 {
+			pass.Reportf(as.Pos(),
+				"sync.Pool.Get result asserted without the comma-ok form; a foreign value in the pool panics here")
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if tv, ok := info.Types[ta.Type]; ok && obj != nil {
+			pooled = append(pooled, pooledVar{obj: obj, typ: tv.Type, pos: as})
+		}
+		return true
+	})
+
+	// Pass 2: every other Get is unchecked; every Put must be
+	// pointer-shaped.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPoolCall(info, call, "Get") && !handled[call] {
+			pass.Reportf(call.Pos(),
+				"sync.Pool.Get without a checked type assertion (want `v, ok := pool.Get().(*T)`)")
+		}
+		if isPoolCall(info, call, "Put") && len(call.Args) == 1 {
+			if t := exprType(info, call.Args[0]); t != nil && !pointerShaped(t) {
+				pass.Reportf(call.Args[0].Pos(),
+					"sync.Pool.Put of non-pointer-shaped %s boxes a copy on every Put; pool *T instead", t)
+			}
+		}
+		return true
+	})
+
+	// Pass 3: per pooled variable, reset discipline and escapes.
+	for _, pv := range pooled {
+		checkPooledVar(pass, info, decl, pv)
+	}
+}
+
+func checkPooledVar(pass *Pass, info *types.Info, decl *ast.FuncDecl, pv pooledVar) {
+	isVar := func(expr ast.Expr) bool {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		return ok && (info.Uses[id] == pv.obj || info.Defs[id] == pv.obj)
+	}
+	resetName, hasReset := resetMethod(pv.typ)
+	hasClose := methodNamed(pv.typ, "Close")
+	resetCalled := false
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isVar(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(rhs.Pos(),
+						"pooled value stored into a struct field; it escapes its checkout and will be mutated by the next Get")
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(),
+						"pooled value stored into a map or slice; it escapes its checkout")
+				case *ast.Ident:
+					if v, ok := info.Uses[lhs].(*types.Var); ok && v.Parent() == pass.Pkg.Types.Scope() {
+						pass.Reportf(rhs.Pos(),
+							"pooled value stored into package-level variable %s; it escapes its checkout", v.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isVar(n.Value) {
+				pass.Reportf(n.Value.Pos(), "pooled value sent on a channel; it escapes its checkout")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isVar(r) && !hasClose {
+					pass.Reportf(r.Pos(),
+						"pooled value returned from %s but %s has no Close method to hand it back to the pool",
+						decl.Name.Name, types.TypeString(pv.typ, nil))
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isVar(sel.X) {
+				if low := strings.ToLower(sel.Sel.Name); low == "reset" || low == "init" {
+					resetCalled = true
+				}
+				return true
+			}
+			if isPoolCall(info, n, "Put") {
+				return true // handing the value back is the point
+			}
+			fn := staticCallee(info, n)
+			if fn == nil {
+				return true
+			}
+			fact := pass.Facts.ForFunc(fn)
+			if fact == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				if isVar(arg) && i < len(fact.Retains) && fact.Retains[i] {
+					pass.Reportf(arg.Pos(),
+						"pooled value passed to %s, which may retain its argument past the call",
+						shortFuncName(fn))
+				}
+			}
+		}
+		return true
+	})
+
+	if hasReset && !resetCalled {
+		pass.Reportf(pv.pos.Pos(),
+			"pooled %s is used without calling its %s method; pool.Get returns values carrying previous state",
+			types.TypeString(pv.typ, nil), resetName)
+	}
+}
+
+// isPoolCall reports whether call invokes (*sync.Pool).<method>.
+func isPoolCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool)."+method
+}
+
+// exprType returns the type of expr, nil when unknown.
+func exprType(info *types.Info, expr ast.Expr) types.Type {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without boxing a copy.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// resetMethod returns the name of t's reset/init-style method, if any.
+func resetMethod(t types.Type) (string, bool) {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		low := strings.ToLower(name)
+		if low == "reset" || low == "init" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// methodNamed reports whether t's method set contains the given name.
+func methodNamed(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"qntn/internal/lint"
+	"qntn/internal/lint/linttest"
+)
+
+func TestPoolSafe(t *testing.T) {
+	linttest.RunModule(t, "testdata", lint.PoolSafe, "poolsafe")
+}

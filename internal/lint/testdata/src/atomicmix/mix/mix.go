@@ -1,0 +1,50 @@
+// Package mix exercises the atomicmix analyzer: fields and package
+// variables touched both through sync/atomic and by plain load/store.
+package mix
+
+import "sync/atomic"
+
+// Stats is a shared counter block.
+type Stats struct {
+	hits uint64
+	miss uint64
+}
+
+// Hit records one hit atomically.
+func (s *Stats) Hit() { atomic.AddUint64(&s.hits, 1) }
+
+// Hits reads the hit count atomically.
+func (s *Stats) Hits() uint64 { return atomic.LoadUint64(&s.hits) }
+
+// Racy reads the atomically-updated counter without synchronization.
+func (s *Stats) Racy() uint64 {
+	return s.hits // want `hits is accessed atomically at .* but by plain load/store here`
+}
+
+// Miss tracks misses with plain accesses only — consistent, not flagged.
+func (s *Stats) Miss() { s.miss++ }
+
+// Misses reads the plain-only counter.
+func (s *Stats) Misses() uint64 { return s.miss }
+
+// ResetStats zeroes the counters with plain stores.
+func ResetStats(s *Stats) {
+	s.hits = 0 // want `hits is accessed atomically at .* but by plain load/store here`
+	s.miss = 0
+}
+
+var total uint64
+
+// Bump increments the package counter atomically.
+func Bump() { atomic.AddUint64(&total, 1) }
+
+// Total reads it without synchronization.
+func Total() uint64 {
+	return total // want `total is accessed atomically at .* but by plain load/store here`
+}
+
+// NewStats constructs a Stats; composite-literal keys are construction
+// before publication, not shared access.
+func NewStats() *Stats {
+	return &Stats{hits: 0, miss: 0}
+}

@@ -1,0 +1,23 @@
+// Package sim is an internal simulation package calling into helpers that
+// hide determinism sinks.
+package sim
+
+import (
+	"time"
+
+	"detrandtrans/util"
+)
+
+// Step mixes clean and tainted helper calls.
+func Step() float64 {
+	t := util.Clock()  // want `call to util\.Clock transitively couples the simulation to the wall clock \(time\.Now\(\) via util\.now\)`
+	j := util.Jitter() // want `call to util\.Jitter transitively draws from the global math/rand source \(rand\.Float64 \(global math/rand source\) via util\.draw\)`
+	r := util.Seeded(42)
+	_ = t
+	return j + util.Pure(r.Float64())
+}
+
+// Direct sinks keep their original single-frame diagnostics.
+func Direct() time.Duration {
+	return time.Since(time.Now()) // want `time\.Now couples the simulation to the wall clock`
+}

@@ -1,0 +1,25 @@
+// Package util is a non-internal helper package whose functions hide
+// determinism sinks behind call frames, exercising transitive fact
+// propagation.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reaches the wall clock two frames deep (Clock -> now -> time.Now).
+func Clock() time.Time { return now() }
+
+func now() time.Time { return time.Now() }
+
+// Jitter reaches the global math/rand source through a helper.
+func Jitter() float64 { return draw() }
+
+func draw() float64 { return rand.Float64() }
+
+// Seeded builds an injectable generator: deterministic, allowed.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Pure is deterministic arithmetic.
+func Pure(x float64) float64 { return x * 2 }

@@ -1,0 +1,20 @@
+// Package helper provides the callees the hotalloc fixtures reach through
+// cross-package facts.
+package helper
+
+import "fmt"
+
+// Grow allocates: append may grow the backing array.
+func Grow(s []int, v int) []int { return append(s, v) }
+
+// Sum is allocation-free.
+func Sum(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Format allocates through fmt.
+func Format(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,63 @@
+// Package hot exercises the hotalloc analyzer: direct allocation sites,
+// allocating helpers caught via facts, and the coldpath/error escape
+// hatches.
+package hot
+
+import (
+	"errors"
+	"fmt"
+
+	"hotalloc/helper"
+)
+
+// ErrNegative rejects negative inputs.
+var ErrNegative = errors.New("negative")
+
+// sink accepts anything, retaining nothing.
+func sink(v any) { _ = v }
+
+// Evaluate is the per-step fast path under test: one direct site, one
+// allocating helper (caught via the facts engine), one clean helper.
+//
+//qntn:hotpath fixture fast path
+func Evaluate(s []int, v int) int {
+	s = append(s, v)      // want `append may grow its backing array in //qntn:hotpath function hot\.Evaluate`
+	s = helper.Grow(s, v) // want `call from //qntn:hotpath function hot\.Evaluate to helper\.Grow, which allocates \(append may grow its backing array\)`
+	return helper.Sum(s)
+}
+
+// Boxed passes a concrete value to an any parameter.
+//
+//qntn:hotpath
+func Boxed(v int) {
+	sink(v) // want `argument 1 boxes a concrete value into an interface in //qntn:hotpath function hot\.Boxed`
+}
+
+// Amortized grows a buffer under an acknowledged coldpath directive.
+//
+//qntn:hotpath
+func Amortized(n int) []int {
+	//qntn:coldpath one-time buffer growth is amortized across steps
+	buf := make([]int, n)
+	return buf
+}
+
+// Fail builds its error inside the return statement: the failure path is
+// auto-exempt.
+//
+//qntn:hotpath
+func Fail(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d: %w", n, ErrNegative)
+	}
+	return nil
+}
+
+// Closure captures a local and therefore allocates.
+//
+//qntn:hotpath
+func Closure(x int) func() int {
+	y := x + 1
+	f := func() int { return y } // want `closure captures y and allocates in //qntn:hotpath function hot\.Closure`
+	return f
+}

@@ -1,0 +1,14 @@
+// Package hotallocbad carries deliberately broken qntn directives; the
+// hotalloc analyzer must reject both (asserted directly, not via want
+// comments, since the diagnostic lands on the directive's own line).
+package hotallocbad
+
+// Work is an ordinary function.
+func Work() int {
+	//qntn:hotpath misplaced: directives guard declarations, not statements
+	n := 1
+	return n
+}
+
+//qntn:hotpth typo in the verb
+func Typo() {}

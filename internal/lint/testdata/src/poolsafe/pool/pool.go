@@ -1,0 +1,143 @@
+// Package pool exercises the poolsafe analyzer: comma-ok discipline on
+// Get, reset-before-use, escapes past the checkout, and pointer-shaped
+// Put.
+package pool
+
+import (
+	"sync"
+
+	"poolsafe/sink"
+)
+
+// Obj is the pooled type: it carries per-step state and a Reset method.
+type Obj struct {
+	buf []byte
+	n   int
+}
+
+// Reset clears the previous holder's state.
+func (o *Obj) Reset() { o.buf = o.buf[:0]; o.n = 0 }
+
+// Conn is a pooled type with the caller-must-Close handoff discipline.
+type Conn struct{ n int }
+
+// Reset clears the previous holder's state.
+func (c *Conn) Reset() { c.n = 0 }
+
+// Close hands the value back.
+func (c *Conn) Close() {}
+
+// Holder outlives a single checkout.
+type Holder struct{ cur *Obj }
+
+var pool = sync.Pool{New: func() any { return new(Obj) }}
+
+var connPool sync.Pool
+
+var global *Obj
+
+// Good follows the full discipline: comma-ok Get, Reset, use, Put.
+func Good() int {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		o = new(Obj)
+	}
+	o.Reset()
+	n := o.n
+	pool.Put(o)
+	return n
+}
+
+// BadAssert asserts without the comma-ok form.
+func BadAssert() {
+	o := pool.Get().(*Obj) // want `sync\.Pool\.Get result asserted without the comma-ok form`
+	o.Reset()
+	pool.Put(o)
+}
+
+// BadUnchecked never asserts at all.
+func BadUnchecked() {
+	o := pool.Get() // want `sync\.Pool\.Get without a checked type assertion`
+	_ = o
+}
+
+// BadNoReset uses the pooled value without clearing previous state.
+func BadNoReset() int {
+	o, ok := pool.Get().(*Obj) // want `pooled \*poolsafe/pool\.Obj is used without calling its Reset method`
+	if !ok {
+		return 0
+	}
+	n := o.n
+	pool.Put(o)
+	return n
+}
+
+// BadFieldStore lets the pooled value escape into a struct field.
+func BadFieldStore(h *Holder) {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		return
+	}
+	o.Reset()
+	h.cur = o // want `pooled value stored into a struct field`
+	pool.Put(o)
+}
+
+// BadGlobal lets the pooled value escape into a package variable.
+func BadGlobal() {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		return
+	}
+	o.Reset()
+	global = o // want `pooled value stored into package-level variable global`
+}
+
+// BadReturn returns a pooled value whose type has no Close handoff.
+func BadReturn() *Obj {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		return nil
+	}
+	o.Reset()
+	return o // want `pooled value returned from BadReturn but \*poolsafe/pool\.Obj has no Close method`
+}
+
+// OkReturn hands a Close-capable pooled value to the caller.
+func OkReturn() *Conn {
+	c, ok := connPool.Get().(*Conn)
+	if !ok {
+		c = new(Conn)
+	}
+	c.Reset()
+	return c
+}
+
+// BadRetain passes the pooled value to a helper whose facts say the
+// argument is retained past the call.
+func BadRetain() {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		return
+	}
+	o.Reset()
+	sink.Keep(o) // want `pooled value passed to sink\.Keep, which may retain its argument past the call`
+	pool.Put(o)
+}
+
+// OkUse passes the pooled value to a non-retaining helper.
+func OkUse() {
+	o, ok := pool.Get().(*Obj)
+	if !ok {
+		return
+	}
+	o.Reset()
+	sink.Use(o)
+	pool.Put(o)
+}
+
+// BadPut pools a value that boxes a copy on every Put.
+func BadPut() {
+	var buf [16]byte
+	pool.Put(buf) // want `sync\.Pool\.Put of non-pointer-shaped \[16\]byte boxes a copy on every Put`
+}

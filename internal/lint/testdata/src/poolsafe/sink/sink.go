@@ -1,0 +1,16 @@
+// Package sink provides helpers whose Retains facts the poolsafe fixtures
+// exercise across the package boundary.
+package sink
+
+var kept any
+
+// Keep retains its argument in a package variable.
+func Keep(v any) { kept = v }
+
+// Use inspects its argument without retaining it.
+func Use(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}

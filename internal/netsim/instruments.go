@@ -44,6 +44,8 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 
 // Observe flushes one step's stats into the counters: one atomic add per
 // counter per step, regardless of pair count. Nil-safe.
+//
+//qntn:hotpath
 func (ins *Instruments) Observe(st *SnapshotStats) {
 	if ins == nil || st == nil {
 		return
@@ -91,6 +93,8 @@ type FaultStatser interface {
 // DrainStepStats fills st's evaluator-derived fields from ev's optional
 // stats interfaces. Callers running their own pair loops over a BeginStep
 // evaluator (rather than SnapshotInto) use this before Close.
+//
+//qntn:hotpath
 func DrainStepStats(ev StepEvaluator, st *SnapshotStats) {
 	if st == nil {
 		return

@@ -89,10 +89,13 @@ func (n *Network) SetModel(model LinkModel) { n.model = model }
 // BeginStep returns a step evaluator over the network's nodes (in insertion
 // order) at instant t: the model's batched evaluator when it implements
 // StepModel, otherwise a per-pair adapter with identical semantics.
+//
+//qntn:hotpath
 func (n *Network) BeginStep(t time.Duration) StepEvaluator {
 	if sm, ok := n.model.(StepModel); ok {
 		return sm.BeginStep(n.nodes, t)
 	}
+	//qntn:coldpath per-pair models have no fast path to protect
 	return &pairStepEval{nodes: n.nodes, model: n.model, t: t}
 }
 
@@ -104,11 +107,15 @@ type pairStepEval struct {
 }
 
 // EvaluatePair implements StepEvaluator.
+//
+//qntn:hotpath
 func (pe *pairStepEval) EvaluatePair(i, j int) (float64, bool) {
 	return pe.model.Evaluate(pe.nodes[i], pe.nodes[j], pe.t)
 }
 
 // Close implements StepEvaluator.
+//
+//qntn:hotpath
 func (pe *pairStepEval) Close() {}
 
 // Nodes returns the nodes in insertion order.
@@ -150,6 +157,8 @@ func (n *Network) Snapshot(t time.Duration) (*routing.Graph, error) {
 // steady state of a caller reusing one graph across topology steps), only
 // the edges are reset and the snapshot allocates nothing. The result is
 // identical to Snapshot's.
+//
+//qntn:hotpath
 func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
 	return n.snapshotInto(g, t, nil)
 }
@@ -157,11 +166,18 @@ func (n *Network) SnapshotInto(g *routing.Graph, t time.Duration) error {
 // SnapshotIntoStats is SnapshotInto plus per-step accounting: when st is
 // non-nil it is overwritten with the step's evaluation stats. Installed
 // Instruments are flushed either way.
+//
+//qntn:hotpath
 func (n *Network) SnapshotIntoStats(g *routing.Graph, t time.Duration, st *SnapshotStats) error {
 	return n.snapshotInto(g, t, st)
 }
 
+// snapshotInto is the shared snapshot core: steady-state calls reset edges
+// in place and allocate nothing.
+//
+//qntn:hotpath
 func (n *Network) snapshotInto(g *routing.Graph, t time.Duration, st *SnapshotStats) error {
+	//qntn:coldpath graph rebuild happens only when the node set changed
 	if !n.graphMatches(g) {
 		g.Reset()
 		for _, node := range n.nodes {
@@ -199,6 +215,8 @@ func (n *Network) snapshotInto(g *routing.Graph, t time.Duration, st *SnapshotSt
 // graphMatches reports whether g's node list is exactly the network's node
 // IDs in insertion order, so dense indices agree and edges can be added by
 // index.
+//
+//qntn:hotpath
 func (n *Network) graphMatches(g *routing.Graph) bool {
 	if g.NumNodes() != len(n.nodes) {
 		return false

@@ -1,19 +1,29 @@
 package qntn
 
 import (
-	"hash/fnv"
 	"time"
 
 	"qntn/internal/netsim"
 )
 
+// FNV-1a 64-bit parameters (hash/fnv's New64a), inlined so the per-step
+// availability check needs no heap-allocated digest.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // hapAvailable reports whether the given HAP is operational at time t
 // under the configured outage probability. Availability is a pure function
-// of (platform ID, step index, OutageSeed): a 64-bit FNV hash is mapped to
-// [0,1) and compared against the outage probability, giving an
+// of (platform ID, step index, OutageSeed): a 64-bit FNV-1a hash is mapped
+// to [0,1) and compared against the outage probability, giving an
 // uncorrelated, reproducible outage sequence per platform without shared
 // RNG state (EvaluateLink stays side-effect free and safe to call in any
-// order).
+// order). The digest is computed inline over the same byte sequence
+// hash/fnv would see — platform ID, then step and seed little-endian — so
+// outage sequences are unchanged from the hash.Hash64 implementation.
+//
+//qntn:hotpath one call per HAP per step from the evaluator reset
 func (sc *Scenario) hapAvailable(hap netsim.Node, t time.Duration) bool {
 	p := sc.Params.HAPOutageProbability
 	if p <= 0 {
@@ -23,17 +33,24 @@ func (sc *Scenario) hapAvailable(hap netsim.Node, t time.Duration) bool {
 		return false
 	}
 	step := int64(t / sc.Params.StepInterval)
-	h := fnv.New64a()
-	var buf [8]byte
-	write64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+	h := fnvOffset64
+	id := hap.ID()
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * fnvPrime64
 	}
-	h.Write([]byte(hap.ID()))
-	write64(uint64(step))
-	write64(uint64(sc.Params.OutageSeed))
-	u := float64(h.Sum64()>>11) / float64(1<<53) // uniform in [0,1)
+	h = fnvMix64(h, uint64(step))
+	h = fnvMix64(h, uint64(sc.Params.OutageSeed))
+	u := float64(h>>11) / float64(1<<53) // uniform in [0,1)
 	return u >= p
+}
+
+// fnvMix64 folds v's eight little-endian bytes into the running FNV-1a
+// hash, exactly as writing them to a hash/fnv digest would.
+//
+//qntn:hotpath
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*i)))) * fnvPrime64
+	}
+	return h
 }

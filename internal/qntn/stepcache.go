@@ -29,12 +29,16 @@ func (m scenarioModel) BeginStep(nodes []netsim.Node, t time.Duration) netsim.St
 // nothing. The caller must Close the evaluator to return it to the pool.
 // Evaluators are independent, so concurrent sweep workers can each hold
 // one.
+//
+//qntn:hotpath one call per topology step of every sweep worker
 func (sc *Scenario) beginStep(nodes []netsim.Node, t time.Duration) *stepEval {
 	se, _ := sc.stepPool.Get().(*stepEval)
 	if se == nil {
+		//qntn:coldpath pool miss: first checkout constructs the evaluator
 		se = &stepEval{sc: sc}
 	}
 	if !se.sameNodes(nodes) {
+		//qntn:coldpath static caches rebuild only when the node set changes
 		se.init(nodes)
 	}
 	se.reset(t)
@@ -79,12 +83,16 @@ type stepEval struct {
 
 // PairStats implements netsim.PairStatser: the number of pairs this step
 // rejected by the horizon and squared-range prefilters.
+//
+//qntn:hotpath
 func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
 	return se.horizonRejects, se.rangeRejects
 }
 
 // sameNodes reports whether the evaluator's static caches were built for
 // exactly this node slice (node identity, not just IDs).
+//
+//qntn:hotpath
 func (se *stepEval) sameNodes(nodes []netsim.Node) bool {
 	if len(se.nodes) != len(nodes) {
 		return false
@@ -140,6 +148,8 @@ func (se *stepEval) init(nodes []netsim.Node) {
 // reset recomputes the per-step caches for instant t: one position, norm,
 // geodetic conversion and frame per relay; one darkness bit per ground
 // host; one availability bit per HAP.
+//
+//qntn:hotpath
 func (se *stepEval) reset(t time.Duration) {
 	se.t = t
 	se.horizonRejects = 0
@@ -171,11 +181,15 @@ func (se *stepEval) reset(t time.Duration) {
 
 // Close implements netsim.StepEvaluator, returning the evaluator to its
 // scenario's pool.
+//
+//qntn:hotpath
 func (se *stepEval) Close() { se.sc.stepPool.Put(se) }
 
 // EvaluatePair implements netsim.StepEvaluator. It mirrors the dispatch of
 // Scenario.evaluateLink exactly (order so kind[a] <= kind[b], then switch
 // on the kind pair).
+//
+//qntn:hotpath every node pair of every step goes through here
 func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
 	a, b := i, j
 	if se.kind[a] > se.kind[b] {
@@ -198,6 +212,8 @@ func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
 }
 
 // fiberPair mirrors Scenario.fiberLink on cached positions.
+//
+//qntn:hotpath
 func (se *stepEval) fiberPair(a, b int) (float64, bool) {
 	if se.network[a] != se.network[b] || se.network[a] == "" {
 		return 0, false
@@ -214,6 +230,8 @@ func (se *stepEval) fiberPair(a, b int) (float64, bool) {
 // test (a relay below the host's horizon cannot meet the non-negative
 // elevation mask) and the squared-range gate (beyond it the transmissivity
 // provably falls below the threshold).
+//
+//qntn:hotpath
 func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2 float64) (float64, bool) {
 	gh := se.ground[a]
 	if gh == nil {
@@ -254,6 +272,8 @@ func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2
 // islPair mirrors Scenario.interSatelliteLink on cached geometry, with the
 // squared-range gate applied before the line-of-sight test (at the paper's
 // threshold the gate rejects the large majority of satellite pairs).
+//
+//qntn:hotpath
 func (se *stepEval) islPair(a, b int) (float64, bool) {
 	sc := se.sc
 	pa, pb := se.pos[a], se.pos[b]
@@ -283,6 +303,8 @@ func (se *stepEval) islPair(a, b int) (float64, bool) {
 
 // satHAPPair mirrors Scenario.satelliteHAPLink on cached geometry, with the
 // squared-range gate first.
+//
+//qntn:hotpath
 func (se *stepEval) satHAPPair(a, b int) (float64, bool) {
 	sc := se.sc
 	ps, ph := se.pos[a], se.pos[b]

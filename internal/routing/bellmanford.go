@@ -82,7 +82,6 @@ func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 		t.cost = make([]float64, n*n)
 		t.via = make([]int32, n*n)
 	}
-	inf := math.Inf(1)
 
 	// Flatten the (ascending) neighbor lists once for deterministic,
 	// allocation-free iteration during the update rounds.
@@ -105,7 +104,28 @@ func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 		s.off = append(s.off, int32(len(s.nbrs)))
 	}
 
-	// INITIALIZE (Algorithm 1).
+	s.initialize(g, epsilon)
+
+	// N−1 rounds of UPDATE (Algorithm 1), with early exit once a round
+	// improves nothing.
+	for round := 0; round < n-1; round++ {
+		s.rounds = round + 1
+		if !s.relax() {
+			break
+		}
+	}
+	return t
+}
+
+// initialize seeds the tables per Algorithm 1's INITIALIZE: cost 0 to
+// self, 1/(η+ε) to adjacent nodes, +Inf elsewhere. Buffers are sized by
+// Run before the call.
+//
+//qntn:hotpath runs on every converged snapshot; buffers are pre-sized
+func (s *BellmanFordScratch) initialize(g *Graph, epsilon float64) {
+	t := &s.t
+	n := t.n
+	inf := math.Inf(1)
 	for i := 0; i < n; i++ {
 		row := t.cost[i*n : (i+1)*n]
 		vrow := t.via[i*n : (i+1)*n]
@@ -127,39 +147,40 @@ func (s *BellmanFordScratch) Run(g *Graph, epsilon float64) *Tables {
 			}
 		}
 	}
+}
 
-	// N−1 rounds of UPDATE (Algorithm 1): for every node and every edge
-	// (u, v), try reaching u through v using v's table.
-	for round := 0; round < n-1; round++ {
-		s.rounds = round + 1
-		changed := false
-		for i := 0; i < n; i++ {
-			row := t.cost[i*n : (i+1)*n]
-			vrow := t.via[i*n : (i+1)*n]
-			for u := 0; u < n; u++ {
-				if u == i {
+// relax runs one synchronous UPDATE round of Algorithm 1 — for every node
+// and every edge (u, v), try reaching u through v using v's table — and
+// reports whether any table entry improved.
+//
+//qntn:hotpath the O(N·E) inner loop of every routing convergence
+func (s *BellmanFordScratch) relax() bool {
+	t := &s.t
+	n := t.n
+	changed := false
+	for i := 0; i < n; i++ {
+		row := t.cost[i*n : (i+1)*n]
+		vrow := t.via[i*n : (i+1)*n]
+		for u := 0; u < n; u++ {
+			if u == i {
+				continue
+			}
+			for _, v := range s.nbrs[s.off[u]:s.off[u+1]] {
+				if int(v) == i {
+					// Reaching u directly as our neighbor was already
+					// seeded in INITIALIZE.
 					continue
 				}
-				for _, v := range s.nbrs[s.off[u]:s.off[u+1]] {
-					if int(v) == i {
-						// Reaching u directly as our neighbor was already
-						// seeded in INITIALIZE.
-						continue
-					}
-					cand := row[v] + t.cost[int(v)*n+u]
-					if cand < row[u] {
-						row[u] = cand
-						vrow[u] = v
-						changed = true
-					}
+				cand := row[v] + t.cost[int(v)*n+u]
+				if cand < row[u] {
+					row[u] = cand
+					vrow[u] = v
+					changed = true
 				}
 			}
 		}
-		if !changed {
-			break
-		}
 	}
-	return t
+	return changed
 }
 
 // setIDs refreshes the scratch tables' node labels from the graph, reusing

@@ -55,6 +55,8 @@ func (g *Graph) AddNode(id string) int {
 }
 
 // ensureMat sizes the adjacency matrix for the current node count.
+//
+//qntn:hotpath steady state (matN == n) returns immediately
 func (g *Graph) ensureMat() {
 	n := len(g.ids)
 	if g.matN == n && g.mat != nil {
@@ -66,6 +68,7 @@ func (g *Graph) ensureMat() {
 		// old rows into place (growing in-place would alias old and new
 		// strides).
 		old, oldN := g.mat, g.matN
+		//qntn:coldpath re-stride happens only when nodes were added
 		m := make([]float64, need)
 		for i := range m {
 			m[i] = absentEdge
@@ -78,6 +81,7 @@ func (g *Graph) ensureMat() {
 		if cap(g.mat) >= need {
 			g.mat = g.mat[:need]
 		} else {
+			//qntn:coldpath amortized capacity growth
 			g.mat = make([]float64, need)
 		}
 		for i := range g.mat {
@@ -101,12 +105,15 @@ func (g *Graph) Reset() {
 // ResetEdges removes every edge while keeping the node set, re-striding the
 // matrix for nodes added since the last edge operation. This is the
 // per-snapshot reuse entry point for topologies whose node set is fixed.
+//
+//qntn:hotpath once per snapshot; steady state reuses the backing array
 func (g *Graph) ResetEdges() {
 	n := len(g.ids)
 	need := n * n
 	if cap(g.mat) >= need {
 		g.mat = g.mat[:need]
 	} else {
+		//qntn:coldpath amortized capacity growth
 		g.mat = make([]float64, need)
 	}
 	for i := range g.mat {
@@ -117,6 +124,8 @@ func (g *Graph) ResetEdges() {
 }
 
 // setEdge stores eta on the undirected edge i-j; indices must be < matN.
+//
+//qntn:hotpath
 func (g *Graph) setEdge(i, j int, eta float64) {
 	if g.mat[i*g.matN+j] < 0 {
 		g.edges++
@@ -143,6 +152,8 @@ func (g *Graph) AddEdge(a, b string, eta float64) error {
 // AddEdgeByIndex inserts (or updates) the undirected edge between the nodes
 // at dense indices i and j (as returned by AddNode), skipping the ID
 // lookups of AddEdge — the fast path for batched snapshot construction.
+//
+//qntn:hotpath once per admitted link of every snapshot
 func (g *Graph) AddEdgeByIndex(i, j int, eta float64) error {
 	if i < 0 || j < 0 || i >= len(g.ids) || j >= len(g.ids) {
 		return fmt.Errorf("routing: edge index (%d,%d) outside [0,%d)", i, j, len(g.ids))
@@ -192,6 +203,8 @@ func (g *Graph) HasNode(id string) bool {
 }
 
 // IndexOf returns the dense index of id and whether it is present.
+//
+//qntn:hotpath
 func (g *Graph) IndexOf(id string) (int, bool) {
 	i, ok := g.index[id]
 	return i, ok
@@ -199,6 +212,8 @@ func (g *Graph) IndexOf(id string) (int, bool) {
 
 // etaAt returns the transmissivity between dense indices i and j and
 // whether that edge exists.
+//
+//qntn:hotpath
 func (g *Graph) etaAt(i, j int) (float64, bool) {
 	if i >= g.matN || j >= g.matN {
 		return 0, false
@@ -221,6 +236,8 @@ func (g *Graph) Eta(a, b string) (float64, bool) {
 
 // EachEdge calls fn for every undirected edge (i < j) in deterministic
 // index order, without allocating.
+//
+//qntn:hotpath
 func (g *Graph) EachEdge(fn func(i, j int, eta float64)) {
 	for i := 0; i < g.matN; i++ {
 		row := g.mat[i*g.matN : (i+1)*g.matN]

@@ -28,6 +28,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//qntn:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -36,6 +38,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//qntn:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -44,6 +48,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Value returns the current count; 0 for a nil counter.
+//
+//qntn:hotpath
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -58,6 +64,8 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+//qntn:hotpath
 func (g *Gauge) Set(n int64) {
 	if g == nil {
 		return
@@ -66,6 +74,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adds n (may be negative).
+//
+//qntn:hotpath
 func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
@@ -74,6 +84,8 @@ func (g *Gauge) Add(n int64) {
 }
 
 // Value returns the current value; 0 for a nil gauge.
+//
+//qntn:hotpath
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
@@ -100,6 +112,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records x into the matching bucket.
+//
+//qntn:hotpath
 func (h *Histogram) Observe(x float64) {
 	if h == nil || math.IsNaN(x) {
 		return
