@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet bench benchdiff profile clean
+.PHONY: all build test race lint vet cover bench benchdiff profile clean
 
 all: build test lint
 
@@ -16,9 +16,17 @@ test:
 	$(GO) test -shuffle=on -count=1 ./...
 
 # race covers the whole module; the parallel sweep engine (internal/runner
-# and its internal/qntn call sites) is the part this target exists to gate.
+# and its internal/qntn call sites) and the event-driven/stepped equivalence
+# suite (oracle_equiv_test.go) are the parts this target exists to gate.
 race:
 	$(GO) test -race -shuffle=on -count=1 ./...
+
+# cover runs the suite under the coverage profiler, prints the per-package
+# percentages as they complete and the module total at the end, and leaves
+# coverage.out for go tool cover -html or the CI artifact.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
 
 # lint runs the project invariant checkers (unitsuffix, detrand, probrange,
 # errcheckclose, hotalloc, poolsafe, atomicmix — the latter backed by the
@@ -34,13 +42,13 @@ vet:
 # machine-readable report — timings, allocs/op, parallel speedups — to
 # BENCH_sweep.json.
 bench:
-	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|Qntnlint' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Qntnlint' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
 	@cat BENCH_sweep.json
 
 # benchdiff compares a fresh bench run against the committed baseline
 # (report-only; never fails).
 benchdiff:
-	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|Qntnlint' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_new.json
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Qntnlint' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_new.json
 	$(GO) run ./cmd/benchdiff BENCH_sweep.json BENCH_new.json
 
 # profile runs a quick full-figure workload under the CPU and heap
@@ -54,4 +62,4 @@ profile:
 
 clean:
 	$(GO) clean ./...
-	rm -rf profiles BENCH_new.json
+	rm -rf profiles BENCH_new.json coverage.out

@@ -71,8 +71,9 @@ type options struct {
 	faultMTTR  time.Duration
 	faultSeed  int64
 	weatherP   float64
-	telDir     string
-	events     bool
+	telDir      string
+	events      bool
+	eventDriven bool
 }
 
 // applyFaults overlays the fault flags onto the parameter set (after any
@@ -147,6 +148,7 @@ func run(args []string, w io.Writer) (err error) {
 	fs.Float64Var(&opt.weatherP, "weather-p", 0, "long-run fraction of time a regional weather blackout affects ground FSO links, in [0,1)")
 	fs.StringVar(&opt.telDir, "telemetry-dir", "", "instrument the run and write manifest.json, metrics.txt and metrics.prom into this directory")
 	fs.BoolVar(&opt.events, "events", false, "with -telemetry-dir, also collect per-step NDJSON event traces into events.ndjson")
+	fs.BoolVar(&opt.eventDriven, "event-driven", false, "drive coverage and serve runs from precomputed visibility windows instead of brute-force stepping (results are identical; telemetry-instrumented runs always step)")
 	fs.Usage = func() {
 		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|params|all")
 		fs.PrintDefaults()
@@ -222,6 +224,7 @@ func run(args []string, w io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	params.EventDriven = opt.eventDriven
 	serveCfg := qntn.ServeConfig{
 		RequestsPerStep: opt.requests,
 		Steps:           opt.steps,

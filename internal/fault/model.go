@@ -43,11 +43,13 @@ func crossesWeather(ka, kb netsim.NodeKind) bool {
 	return (ka == netsim.Ground) != (kb == netsim.Ground)
 }
 
-// applyWeather attenuates eta during a blackout and re-gates it. The second
-// return is false when the blackout severs the link.
+// ApplyWeather attenuates eta during a blackout and re-gates it. The second
+// return is false when the blackout severs the link. Exported so the
+// event-driven coverage engine can replicate the decorator's semantics when
+// it evaluates pairs outside the BeginStep machinery.
 //
 //qntn:hotpath
-func (m *Model) applyWeather(eta float64) (float64, bool) {
+func (m *Model) ApplyWeather(eta float64) (float64, bool) {
 	eta *= m.sched.cfg.WeatherAttenuation
 	if eta <= 0 || eta < m.minEta {
 		return 0, false
@@ -65,7 +67,7 @@ func (m *Model) Evaluate(a, b netsim.Node, t time.Duration) (float64, bool) {
 		return 0, false
 	}
 	if m.sched.Weather(t) && crossesWeather(a.Kind(), b.Kind()) {
-		return m.applyWeather(eta)
+		return m.ApplyWeather(eta)
 	}
 	return eta, true
 }
@@ -210,7 +212,7 @@ func (se *stepEval) EvaluatePair(i, j int) (float64, bool) {
 		return 0, false
 	}
 	if se.weather && se.ground[i] != se.ground[j] {
-		return se.m.applyWeather(eta)
+		return se.m.ApplyWeather(eta)
 	}
 	return eta, true
 }

@@ -119,6 +119,31 @@ func (e Elements) MeanMotion() float64 {
 // eccentricity outside [0,1).
 var ErrHyperbolic = errors.New("orbit: eccentricity outside [0,1)")
 
+// MaxSpeedMPerS returns an upper bound on the satellite's ECEF ground-frame
+// speed in m/s, valid for every instant of the propagation: the vis-viva
+// speed at perigee (the orbital maximum) plus the Earth-rotation sweep at
+// apogee radius, plus — when J2 is enabled — the secular precession rates
+// swept at apogee radius. The 0.1% margin absorbs the curvature of composing
+// the rotations. A zero return means no finite bound is available (the
+// elements are not propagatable); callers must fall back to dense scanning.
+func (e Elements) MaxSpeedMPerS() float64 {
+	a, ecc := e.SemiMajorAxisM, e.Eccentricity
+	if a <= 0 || ecc < 0 || ecc >= 1 {
+		return 0
+	}
+	rPerigee := a * (1 - ecc)
+	rApogee := a * (1 + ecc)
+	vOrbit := math.Sqrt(MuEarth * (2/rPerigee - 1/a))
+	v := vOrbit + EarthRotationRate*rApogee
+	if e.ApplyJ2 {
+		drift := math.Abs(e.NodalRegressionRate()) +
+			math.Abs(e.ApsidalRotationRate()) +
+			math.Abs(e.meanMotionJ2Correction())
+		v += drift * rApogee
+	}
+	return v * 1.001
+}
+
 // PositionECI returns the inertial position of the satellite at time t after
 // epoch. For eccentric orbits Kepler's equation is solved by Newton
 // iteration; the circular case is exact.

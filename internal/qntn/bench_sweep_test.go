@@ -121,7 +121,11 @@ func flushSweepBench(path string) error {
 		Snapshot108PrePR        *sweepBenchRecord  `json:"snapshot108_pre_fast_path,omitempty"`
 		Snapshot108Speedup      float64            `json:"snapshot108_speedup_vs_pre_fast_path,omitempty"`
 		Snapshot108AllocsFactor float64            `json:"snapshot108_allocs_ratio_vs_pre_fast_path,omitempty"`
-		Benchmarks              []sweepBenchRecord `json:"benchmarks"`
+		// CoverageDay108EventSpeedup documents the event-driven engine
+		// against the brute-force stepped path on the paper's hardest
+		// coverage run (108 satellites, full day).
+		CoverageDay108EventSpeedup float64            `json:"coverage_day108_event_speedup_vs_stepped,omitempty"`
+		Benchmarks                 []sweepBenchRecord `json:"benchmarks"`
 	}{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -137,6 +141,18 @@ func flushSweepBench(path string) error {
 			}
 			break
 		}
+	}
+	var day108Stepped, day108Event float64
+	for _, r := range sweepBench.records {
+		switch r.Name {
+		case "CoverageDay108/stepped":
+			day108Stepped = r.NsPerOp
+		case "CoverageDay108/event":
+			day108Event = r.NsPerOp
+		}
+	}
+	if day108Stepped > 0 && day108Event > 0 {
+		report.CoverageDay108EventSpeedup = day108Stepped / day108Event
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -198,6 +214,42 @@ func BenchmarkServeSweep(b *testing.B) {
 			}
 			allocs, bytes := m.stop()
 			recordSweepBench(b, "ServeSweep", workers, allocs, bytes)
+		})
+	}
+}
+
+// BenchmarkCoverageDay108 measures the paper's hardest coverage run — the
+// 108-satellite constellation over a full day — on both execution paths:
+// the brute-force stepped simulation and the event-driven visibility-window
+// engine (identical results; see the oracle equivalence suite). One warmup
+// run precedes the timed loop so both paths are measured at their reusable
+// steady state.
+func BenchmarkCoverageDay108(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		event bool
+	}{{"stepped", false}, {"event", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := DefaultParams()
+			p.EventDriven = mode.event
+			sc, err := NewSpaceGround(108, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sc.FullDayCoverage(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var m allocMeter
+			m.start()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.FullDayCoverage(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			allocs, bytes := m.stop()
+			recordSweepBench(b, "CoverageDay108/"+mode.name, 1, allocs, bytes)
 		})
 	}
 }

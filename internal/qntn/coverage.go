@@ -93,6 +93,9 @@ func (sc *Scenario) Coverage(duration time.Duration) (*CoverageResult, error) {
 	if duration <= 0 {
 		return nil, fmt.Errorf("qntn: non-positive coverage duration %v", duration)
 	}
+	if sc.Params.EventDriven && sc.tel == nil {
+		return sc.coverageEventDriven(duration)
+	}
 	step := sc.Params.StepInterval
 	res := &CoverageResult{Total: duration}
 	sim := netsim.NewSimulator()
@@ -174,6 +177,22 @@ func (uf *unionFind) ensure(n int) {
 	uf.parent = uf.parent[:n]
 	uf.size = uf.size[:n]
 	uf.reset(n)
+}
+
+// copyFrom makes uf an exact copy of src (same parents and sizes), reusing
+// uf's backing arrays. The event engine uses it to restore a precomputed
+// "fiber-only" union-find template each step instead of re-unioning the
+// static fiber edges.
+func (uf *unionFind) copyFrom(src *unionFind) {
+	n := len(src.parent)
+	if cap(uf.parent) < n {
+		uf.parent = make([]int, n)
+		uf.size = make([]int, n)
+	}
+	uf.parent = uf.parent[:n]
+	uf.size = uf.size[:n]
+	copy(uf.parent, src.parent)
+	copy(uf.size, src.size)
 }
 
 func (uf *unionFind) find(x int) int {

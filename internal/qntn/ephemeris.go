@@ -46,6 +46,10 @@ func (s *cachedSatellite) PositionAt(t time.Duration) geo.Vec3 {
 	return s.elems.PositionECEF(t)
 }
 
+// Elements returns the satellite's orbital elements, letting the window
+// engine bound its speed (same contract as netsim.SatelliteNode.Elements).
+func (s *cachedSatellite) Elements() orbit.Elements { return s.elems }
+
 // EphemerisCache holds the first nSats satellites of the paper's Table II
 // catalog with their positions propagated once at a fixed set of sample
 // times. Because the paper's constellations are nested prefixes of the

@@ -1,0 +1,590 @@
+package qntn
+
+import (
+	"fmt"
+	"time"
+
+	"qntn/internal/fault"
+	"qntn/internal/netsim"
+	"qntn/internal/routing"
+	"qntn/internal/stats"
+)
+
+// This file implements the event engine that drives Coverage,
+// DetailedCoverage and RunServe from the precomputed visibility windows of
+// windows.go: instead of rebuilding the topology graph from scratch at every
+// step, the engine applies a sorted stream of window open/close, platform
+// down/up and weather on/off events as incremental graph deltas
+// (AddEdgeByIndex / RemoveEdgeByIndex), and re-evaluates only the pairs
+// whose windows are currently open — with the exact stepEval physics, so
+// every emitted result is DeepEqual-identical to the stepped path's.
+
+// evKind orders simultaneous events deterministically. After coalescing, no
+// entity sees two events at the same step, so the order is a tiebreak for
+// replay stability only.
+type evKind uint8
+
+const (
+	evWeatherOn evKind = iota
+	evWeatherOff
+	evNodeDown
+	evNodeUp
+	evPairClose
+	evPairOpen
+)
+
+// event is one topology transition at a grid step: a pair window opening or
+// closing, a platform going down or coming back, or a weather blackout edge.
+type event struct {
+	step int
+	kind evKind
+	i    int // node index for down/up
+	pair int // pair ordinal for open/close
+}
+
+// spanEvents converts half-open time spans into coalesced [on, off) index
+// intervals on the grid and emits them through emit. Adjacent or overlapping
+// spans that quantize onto touching index intervals are merged first —
+// otherwise a down(k) and up(k) pair at the same step would leave the node
+// up where the schedule says down.
+func spanEvents(grid sampleGrid, spans []fault.Span, emit func(on, off int)) {
+	type iv struct{ on, off int }
+	var ivs []iv
+	for _, sp := range spans {
+		on, off := grid.ceilIndex(sp.Start), grid.ceilIndex(sp.End)
+		if on >= off || on >= grid.steps {
+			continue
+		}
+		if n := len(ivs); n > 0 && on <= ivs[n-1].off {
+			if off > ivs[n-1].off {
+				ivs[n-1].off = off
+			}
+			continue
+		}
+		ivs = append(ivs, iv{on, off})
+	}
+	for _, v := range ivs {
+		emit(v.on, v.off)
+	}
+}
+
+// fiberEdge is one static ground↔ground link admitted by the fiber physics.
+// present tracks whether it is currently installed in the graph (both
+// endpoints up); its transmissivity never changes.
+type fiberEdge struct {
+	i, j    int
+	eta     float64
+	present bool
+}
+
+// eventEngine replays one scenario run as incremental topology updates.
+type eventEngine struct {
+	sc   *Scenario
+	ws   *windowScan
+	se   *stepEval
+	grid sampleGrid
+	g    *routing.Graph
+
+	fm       *fault.Model // nil without fault injection
+	down     []bool
+	weather  bool
+	isGround []bool
+
+	// stamp[i] is the grid step node i's evaluator caches were last
+	// refreshed at (every node is fresh at step 0 from the initial reset).
+	stamp []int
+
+	fiber   []fiberEdge
+	fiberOf [][]int // node index -> indices into fiber
+	ufDirty bool
+
+	events    []event
+	evScratch []event // counting-sort double buffer
+	evCounts  []int   // counting-sort bucket offsets, one per grid step
+	cursor    int
+
+	active []int   // pair ordinals with open windows
+	apos   []int   // pair ordinal -> index in active, -1 when closed
+	has    []bool  // pair ordinal -> edge currently in the graph
+
+	stepChanges int
+	transitions int
+
+	baseUF *unionFind // fiber-only template, rebuilt when ufDirty
+	uf     *unionFind
+	lanIdx [][]int
+	lanBad bool
+}
+
+// newEventEngine scans the scenario's windows on the given grid, builds the
+// sorted event stream (windows merged with fault outage and weather spans),
+// and installs the static fiber topology. Engines come from the scenario's
+// pool — Close returns them — so repeated event-driven runs reuse the
+// window scan's position-memo slabs and the event buffers.
+func (sc *Scenario) newEventEngine(grid sampleGrid) (*eventEngine, error) {
+	nodes := sc.Net.Nodes()
+	n := len(nodes)
+	eng, _ := sc.engPool.Get().(*eventEngine)
+	if eng == nil {
+		eng = &eventEngine{
+			ws:     &windowScan{},
+			g:      routing.NewGraph(),
+			baseUF: &unionFind{},
+			uf:     &unionFind{},
+		}
+	}
+	eng.sc = sc
+	eng.grid = grid
+	eng.ws.scan(sc, nodes, grid)
+	eng.down = grow(eng.down, n)
+	clear(eng.down)
+	eng.weather = false
+	eng.isGround = grow(eng.isGround, n)
+	eng.stamp = grow(eng.stamp, n)
+	clear(eng.stamp)
+	eng.fiber = eng.fiber[:0]
+	eng.fiberOf = grow(eng.fiberOf, n)
+	for i := range eng.fiberOf {
+		eng.fiberOf[i] = eng.fiberOf[i][:0]
+	}
+	eng.events = eng.events[:0]
+	eng.cursor = 0
+	eng.active = eng.active[:0]
+	eng.stepChanges, eng.transitions = 0, 0
+	eng.lanIdx = eng.lanIdx[:0]
+	eng.lanBad = false
+	eng.fm, _ = sc.Net.Model().(*fault.Model)
+	eng.g.Reset()
+	for i, nd := range nodes {
+		eng.g.AddNode(nd.ID())
+		eng.isGround[i] = nd.Kind() == netsim.Ground
+	}
+	eng.g.ResetEdges()
+
+	// The initial full reset leaves every node's caches fresh at step 0.
+	eng.se = sc.beginStep(nodes, 0)
+
+	// Static fiber topology: evaluated once, installed up front (the
+	// initial topology produces no link transitions, matching the stepped
+	// tracker's first observation), then toggled only by down/up events.
+	for i := 0; i < n; i++ {
+		if !eng.isGround[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !eng.isGround[j] {
+				continue
+			}
+			eta, ok := eng.se.fiberPair(i, j)
+			if !ok {
+				continue
+			}
+			fi := len(eng.fiber)
+			eng.fiber = append(eng.fiber, fiberEdge{i: i, j: j, eta: eta, present: true})
+			eng.fiberOf[i] = append(eng.fiberOf[i], fi)
+			eng.fiberOf[j] = append(eng.fiberOf[j], fi)
+			if err := eng.g.AddEdgeByIndex(i, j, eta); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+	}
+	eng.ufDirty = true
+
+	// LAN membership as dense indices, for the fast bridged check.
+	for _, lan := range sc.LANs {
+		ids := sc.GroundIDs[lan.Name]
+		if len(ids) == 0 {
+			eng.lanBad = true
+			break
+		}
+		idx := make([]int, len(ids))
+		for k, id := range ids {
+			ii, ok := eng.g.IndexOf(id)
+			if !ok {
+				eng.lanBad = true
+				break
+			}
+			idx[k] = ii
+		}
+		if eng.lanBad {
+			break
+		}
+		eng.lanIdx = append(eng.lanIdx, idx)
+	}
+
+	eng.buildEvents(nodes)
+	eng.apos = grow(eng.apos, len(eng.ws.pairs))
+	for p := range eng.apos {
+		eng.apos[p] = -1
+	}
+	eng.has = grow(eng.has, len(eng.ws.pairs))
+	clear(eng.has)
+	return eng, nil
+}
+
+// Close returns the borrowed evaluator to the scenario's step pool and the
+// engine itself to the scenario's engine pool. The engine must not be used
+// after Close.
+func (eng *eventEngine) Close() {
+	if eng.se != nil {
+		eng.se.Close()
+		eng.se = nil
+	}
+	eng.sc.engPool.Put(eng)
+}
+
+// buildEvents merges the window runs with the fault schedule's outage and
+// weather spans into one stream sorted by (step, kind, node, pair).
+func (eng *eventEngine) buildEvents(nodes []netsim.Node) {
+	steps := eng.grid.steps
+	for p, runs := range eng.ws.runs {
+		for _, r := range runs {
+			eng.events = append(eng.events, event{step: r.lo, kind: evPairOpen, pair: p})
+			if r.hi+1 < steps {
+				eng.events = append(eng.events, event{step: r.hi + 1, kind: evPairClose, pair: p})
+			}
+		}
+	}
+	if eng.fm != nil {
+		sched := eng.fm.Schedule()
+		for i, nd := range nodes {
+			spanEvents(eng.grid, sched.DownSpans(nd.ID()), func(on, off int) {
+				eng.events = append(eng.events, event{step: on, kind: evNodeDown, i: i})
+				if off < steps {
+					eng.events = append(eng.events, event{step: off, kind: evNodeUp, i: i})
+				}
+			})
+		}
+		spanEvents(eng.grid, sched.WeatherSpans(), func(on, off int) {
+			eng.events = append(eng.events, event{step: on, kind: evWeatherOn})
+			if off < steps {
+				eng.events = append(eng.events, event{step: off, kind: evWeatherOff})
+			}
+		})
+	}
+	eng.sortEvents()
+}
+
+// eventLess orders events within one step: kind, then node, then pair.
+func eventLess(a, b event) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.pair < b.pair
+}
+
+// sortEvents orders the stream by (step, kind, node, pair). The stream is
+// tens of thousands of events for a constellation day, so a comparison sort
+// is measurable setup overhead; a counting sort on the step followed by
+// insertion sorts inside each step's tiny bucket is linear in practice.
+func (eng *eventEngine) sortEvents() {
+	evs := eng.events
+	counts := grow(eng.evCounts, eng.grid.steps)
+	clear(counts)
+	for _, ev := range evs {
+		counts[ev.step]++
+	}
+	sum := 0
+	for s := range counts {
+		c := counts[s]
+		counts[s] = sum
+		sum += c
+	}
+	out := grow(eng.evScratch, len(evs))
+	for _, ev := range evs {
+		out[counts[ev.step]] = ev
+		counts[ev.step]++
+	}
+	// counts[s] is now the end of bucket s; its start is the previous end.
+	start := 0
+	for _, end := range counts {
+		bucket := out[start:end]
+		start = end
+		for i := 1; i < len(bucket); i++ {
+			for j := i; j > 0 && eventLess(bucket[j], bucket[j-1]); j-- {
+				bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
+			}
+		}
+	}
+	eng.events, eng.evScratch, eng.evCounts = out, evs, counts
+}
+
+// apply executes one event against the engine state.
+func (eng *eventEngine) apply(ev event) {
+	switch ev.kind {
+	case evWeatherOn:
+		eng.weather = true
+	case evWeatherOff:
+		eng.weather = false
+	case evNodeDown:
+		eng.down[ev.i] = true
+		for _, fi := range eng.fiberOf[ev.i] {
+			fe := &eng.fiber[fi]
+			if fe.present {
+				fe.present = false
+				eng.g.RemoveEdgeByIndex(fe.i, fe.j)
+				eng.stepChanges++
+				eng.ufDirty = true
+			}
+		}
+	case evNodeUp:
+		eng.down[ev.i] = false
+		for _, fi := range eng.fiberOf[ev.i] {
+			fe := &eng.fiber[fi]
+			if !fe.present && !eng.down[fe.i] && !eng.down[fe.j] {
+				fe.present = true
+				// The indices predate the graph, so re-adding cannot fail.
+				_ = eng.g.AddEdgeByIndex(fe.i, fe.j, fe.eta)
+				eng.stepChanges++
+				eng.ufDirty = true
+			}
+		}
+	case evPairOpen:
+		eng.apos[ev.pair] = len(eng.active)
+		eng.active = append(eng.active, ev.pair)
+	case evPairClose:
+		at := eng.apos[ev.pair]
+		last := len(eng.active) - 1
+		moved := eng.active[last]
+		eng.active[at] = moved
+		eng.apos[moved] = at
+		eng.active = eng.active[:last]
+		eng.apos[ev.pair] = -1
+		if eng.has[ev.pair] {
+			eng.has[ev.pair] = false
+			pr := &eng.ws.pairs[ev.pair]
+			eng.g.RemoveEdgeByIndex(pr.i, pr.j)
+			eng.stepChanges++
+		}
+	}
+}
+
+// ensureFresh refreshes node i's evaluator caches for grid step k: moving
+// nodes replay the scan's memoized positions (bit-identical to PositionAt),
+// everything else re-derives its per-step bits (darkness, HAP availability).
+//
+//qntn:hotpath twice per active pair per step, deduplicated by stamp
+func (eng *eventEngine) ensureFresh(i, k int) {
+	if eng.stamp[i] == k {
+		return
+	}
+	eng.stamp[i] = k
+	if eng.ws.slot[i] >= 0 {
+		eng.se.refreshRelayAt(i, eng.ws.posAt(i, k))
+	} else {
+		eng.se.refreshNode(i)
+	}
+}
+
+// evalPair evaluates one active pair with the exact stepped physics plus the
+// fault decoration, replicating fault.Model's step evaluator: down gate,
+// inner physics, weather gate.
+//
+//qntn:hotpath once per active pair per step
+func (eng *eventEngine) evalPair(i, j int) (float64, bool) {
+	if eng.down[i] || eng.down[j] {
+		return 0, false
+	}
+	eta, ok := eng.se.EvaluatePair(i, j)
+	if !ok {
+		return 0, false
+	}
+	if eng.weather && eng.isGround[i] != eng.isGround[j] {
+		return eng.fm.ApplyWeather(eta)
+	}
+	return eta, true
+}
+
+// runStep advances the engine to grid step k (steps must be visited in
+// order): pending events are applied, then every open-window pair is
+// re-evaluated and the graph delta applied. After the call eng.g holds
+// exactly the snapshot GraphInto would build at at(k).
+func (eng *eventEngine) runStep(k int) error {
+	eng.stepChanges = 0
+	eng.se.setInstant(eng.grid.at(k))
+	for eng.cursor < len(eng.events) && eng.events[eng.cursor].step == k {
+		eng.apply(eng.events[eng.cursor])
+		eng.cursor++
+	}
+	for _, p := range eng.active {
+		pr := &eng.ws.pairs[p]
+		eng.ensureFresh(pr.i, k)
+		eng.ensureFresh(pr.j, k)
+		eta, ok := eng.evalPair(pr.i, pr.j)
+		if ok {
+			if !eng.has[p] {
+				eng.has[p] = true
+				eng.stepChanges++
+			}
+			if err := eng.g.AddEdgeByIndex(pr.i, pr.j, eta); err != nil {
+				return err
+			}
+		} else if eng.has[p] {
+			eng.has[p] = false
+			eng.g.RemoveEdgeByIndex(pr.i, pr.j)
+			eng.stepChanges++
+		}
+	}
+	// The first topology is an observation, not a transition — matching
+	// the stepped path's LinkTracker, which skips its first snapshot.
+	if k > 0 {
+		eng.transitions += eng.stepChanges
+	}
+	return nil
+}
+
+// bridged reports whether all LANs are connected in the current topology,
+// equivalently to Scenario.bridgedInto on the engine's graph: a precomputed
+// fiber-only union-find template is copied and the open FSO edges unioned in.
+func (eng *eventEngine) bridged() bool {
+	if eng.lanBad {
+		return false
+	}
+	if eng.ufDirty {
+		eng.baseUF.ensure(eng.g.NumNodes())
+		for _, fe := range eng.fiber {
+			if fe.present {
+				eng.baseUF.union(fe.i, fe.j)
+			}
+		}
+		eng.ufDirty = false
+	}
+	eng.uf.copyFrom(eng.baseUF)
+	for _, p := range eng.active {
+		if eng.has[p] {
+			pr := &eng.ws.pairs[p]
+			eng.uf.union(pr.i, pr.j)
+		}
+	}
+	root := -1
+	for _, lan := range eng.lanIdx {
+		r := eng.uf.find(lan[0])
+		for _, ii := range lan[1:] {
+			if eng.uf.find(ii) != r {
+				return false
+			}
+		}
+		if root == -1 {
+			root = r
+		} else if r != root {
+			return false
+		}
+	}
+	return true
+}
+
+// coverageEventDriven is Coverage on the event engine; the caller has
+// validated the duration.
+func (sc *Scenario) coverageEventDriven(duration time.Duration) (*CoverageResult, error) {
+	step := sc.Params.StepInterval
+	res := &CoverageResult{Total: duration}
+	grid := coverageGrid(step, duration)
+	if grid.steps == 0 {
+		return res, nil
+	}
+	eng, err := sc.newEventEngine(grid)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	for k := 0; k < grid.steps; k++ {
+		if err := eng.runStep(k); err != nil {
+			return nil, err
+		}
+		accumulate(res, grid.at(k), step, eng.bridged())
+	}
+	return res, nil
+}
+
+// detailedCoverageEventDriven is DetailedCoverage on the event engine; the
+// caller has validated the duration. Link transitions come from the engine's
+// own delta accounting, which counts exactly the appear/disappear changes
+// the stepped tracker reports (transmissivity-only changes count for
+// neither).
+func (sc *Scenario) detailedCoverageEventDriven(duration time.Duration) (*CoverageDetail, error) {
+	step := sc.Params.StepInterval
+	detail := &CoverageDetail{All: CoverageResult{Total: duration}}
+	for i := 0; i < len(sc.LANs); i++ {
+		for j := i + 1; j < len(sc.LANs); j++ {
+			detail.Pairs = append(detail.Pairs, PairCoverage{
+				NetworkA: sc.LANs[i].Name,
+				NetworkB: sc.LANs[j].Name,
+				Result:   CoverageResult{Total: duration},
+			})
+		}
+	}
+	grid := coverageGrid(step, duration)
+	if grid.steps == 0 {
+		return detail, nil
+	}
+	eng, err := sc.newEventEngine(grid)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	for k := 0; k < grid.steps; k++ {
+		if err := eng.runStep(k); err != nil {
+			return nil, err
+		}
+		at := grid.at(k)
+		pairs, all := sc.bridgedPairs(eng.g)
+		accumulate(&detail.All, at, step, all)
+		for pi := range detail.Pairs {
+			pc := &detail.Pairs[pi]
+			accumulate(&pc.Result, at, step, pairs[[2]string{pc.NetworkA, pc.NetworkB}])
+		}
+	}
+	detail.LinkTransitions = eng.transitions
+	return detail, nil
+}
+
+// runServeEventDriven is RunServe on the event engine; cfg has been
+// validated and defaulted by the caller.
+func (sc *Scenario) runServeEventDriven(cfg ServeConfig) (*ServeResult, error) {
+	res := &ServeResult{Config: cfg}
+	wl := NewWorkload(sc, cfg.Seed)
+	grid := sampleGrid{gap: cfg.stepGap(sc.Params), steps: cfg.Steps}
+	eng, err := sc.newEventEngine(grid)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	var scratch routing.BellmanFordScratch
+	var fids, etas []float64
+	for k := 0; k < grid.steps; k++ {
+		if err := eng.runStep(k); err != nil {
+			return nil, err
+		}
+		at := grid.at(k)
+		tables := scratch.Run(eng.g, sc.Params.RoutingEpsilon)
+		for _, req := range wl.Batch(cfg.RequestsPerStep) {
+			out := netsim.Outcome{Request: req, At: at}
+			if tables.Reachable(req.Src, req.Dst) {
+				path, err := tables.Path(req.Src, req.Dst)
+				if err != nil {
+					return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
+				}
+				hopEtas, err := eng.g.EdgeEtas(path)
+				if err != nil {
+					return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
+				}
+				out.Served = true
+				out.Path = path
+				out.EndToEndEta = product(hopEtas)
+				out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
+				fids = append(fids, out.Fidelity)
+				etas = append(etas, out.EndToEndEta)
+			}
+			res.Metrics.Record(out)
+		}
+	}
+	res.ServedPercent = 100 * res.Metrics.ServedFraction()
+	res.MeanFidelity = res.Metrics.MeanServedFidelity()
+	res.FidelitySummary = stats.Summarize(fids)
+	res.MeanPathEta = stats.Mean(etas)
+	return res, nil
+}

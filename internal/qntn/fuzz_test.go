@@ -2,11 +2,15 @@ package qntn
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/orbit"
 )
 
 // FuzzLoadParams exercises the JSON parameter loader: it must never panic,
@@ -182,6 +186,79 @@ func FuzzServeConfigRoundTrip(f *testing.F) {
 		}
 		if d := cfg2.Horizon - cfg.Horizon; d < -2 || d > 2 {
 			t.Fatalf("horizon drifted %v -> %v", cfg.Horizon, cfg2.Horizon)
+		}
+	})
+}
+
+// FuzzVisibilityWindow perturbs the constellation's epoch and orbital
+// elements — the phase offset shifts every satellite along its orbit and
+// rotates its plane, which is how an epoch change expresses itself through
+// two-body elements — and requires the event-driven engine to agree with
+// the stepped oracle at every sample instant. DetailedCoverage carries the
+// per-step interval structure and the link-transition count, so DeepEqual
+// equality pins each instant's connectivity, not just the aggregate.
+func FuzzVisibilityWindow(f *testing.F) {
+	// Corpus: the snapshot-equivalence archetype sizes up to the paper's
+	// 108-satellite Table II geometry, J2 on one entry to seed the dense
+	// pairwise scan next to the analytic arcs.
+	f.Add(uint8(1), 500.0, 53.0, 0.0, 30.0, false)
+	f.Add(uint8(4), 500.0, 53.0, 0.01, 60.0, false)
+	f.Add(uint8(9), 550.0, 60.0, -0.02, 120.0, true)
+	f.Add(uint8(18), 500.0, 53.0, 0.003, 300.0, false)
+
+	f.Fuzz(func(t *testing.T, planes uint8, altKm, incDeg, phaseRad, stepS float64, j2 bool) {
+		n := int(planes) * 6
+		if n < 6 || n > orbit.MaxPaperSatellites {
+			return
+		}
+		if !(altKm >= 300 && altKm <= 2000) || !(incDeg >= 1 && incDeg <= 179) {
+			return
+		}
+		if !(stepS >= 1 && stepS <= 3600) || !(math.Abs(phaseRad) <= math.Pi) {
+			return
+		}
+		p := DefaultParams()
+		p.Turbulence = nil
+		p.SatelliteAltitudeM = altKm * 1e3
+		p.InclinationDeg = incDeg
+		p.StepInterval = time.Duration(stepS * float64(time.Second))
+		p.UseJ2 = j2
+		elems, err := orbit.PaperConstellationWith(n, p.SatelliteAltitudeM, p.InclinationDeg)
+		if err != nil {
+			return
+		}
+		duration := 40 * p.StepInterval
+		build := func(p Params) (*Scenario, error) {
+			sats := make([]netsim.Node, len(elems))
+			for i, e := range elems {
+				e.ApplyJ2 = p.UseJ2
+				e.TrueAnomalyRad += phaseRad
+				e.RAANRad += phaseRad / 7
+				sats[i] = netsim.NewSatelliteNode(fmt.Sprintf("SAT-%03d", i+1), e)
+			}
+			return assemble(SpaceGround, p, sats)
+		}
+		sc, err := build(p)
+		if err != nil {
+			return
+		}
+		pe := p
+		pe.EventDriven = true
+		sce, err := build(pe)
+		if err != nil {
+			t.Fatalf("event-driven build failed where stepped succeeded: %v", err)
+		}
+		want, err := sc.DetailedCoverage(duration)
+		if err != nil {
+			t.Fatalf("stepped coverage: %v", err)
+		}
+		got, err := sce.DetailedCoverage(duration)
+		if err != nil {
+			t.Fatalf("event-driven coverage: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event-driven coverage diverged from stepped oracle\nplanes=%d alt=%.1fkm inc=%.1f phase=%g step=%gs j2=%v\n got: %+v\nwant: %+v",
+				planes, altKm, incDeg, phaseRad, stepS, j2, got, want)
 		}
 	})
 }

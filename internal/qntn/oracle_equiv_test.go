@@ -1,0 +1,140 @@
+package qntn_test
+
+// The event-driven differential-oracle suite: every scenario archetype runs
+// through Coverage, DetailedCoverage and RunServe on both execution paths —
+// brute-force stepped (the oracle) and event-driven (the subject) — and the
+// results must be reflect.DeepEqual-identical, with faults off and on, at
+// several worker counts. The suite lives in an external test package so it
+// exercises exactly the public API the oracletest helpers wrap; white-box
+// window tests live in windows_test.go.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qntn/internal/qntn"
+	"qntn/internal/qntn/oracletest"
+	"qntn/internal/telemetry"
+)
+
+// oracleServeConfig scales the paper workload down so six archetypes times
+// two fault variants stay affordable next to the rest of tier 1.
+func oracleServeConfig(horizon time.Duration) qntn.ServeConfig {
+	return qntn.ServeConfig{RequestsPerStep: 20, Steps: 40, Horizon: horizon, Seed: 7}
+}
+
+// TestEventDrivenMatchesSteppedOracle is the core differential matrix:
+// every archetype, faults off and on.
+func TestEventDrivenMatchesSteppedOracle(t *testing.T) {
+	for _, arch := range oracletest.Archetypes() {
+		arch := arch
+		t.Run(arch.Name, func(t *testing.T) {
+			p := arch.Params()
+			oracletest.AssertAllEqual(t, arch.Build, p, arch.Duration, oracleServeConfig(arch.Duration))
+		})
+		t.Run(arch.Name+"-faults", func(t *testing.T) {
+			p := arch.Params()
+			p.Fault = oracletest.FaultConfig(11)
+			oracletest.AssertAllEqual(t, arch.Build, p, arch.Duration, oracleServeConfig(arch.Duration))
+		})
+	}
+}
+
+// TestEventDrivenServeSweepWorkers runs the serve sweep — whose per-size
+// scenarios route through RunServe and therefore through the event engine
+// when EventDriven is set — at 1, 2 and 8 workers, and requires all six
+// point sets (3 worker counts x 2 paths) to agree.
+func TestEventDrivenServeSweepWorkers(t *testing.T) {
+	sizes := []int{6, 24}
+	cfg := qntn.ServeConfig{RequestsPerStep: 15, Steps: 30, Horizon: 6 * time.Hour, Seed: 3}
+	p := qntn.DefaultParams()
+	want, err := qntn.ServeSweepParallel(p, sizes, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		pe := p
+		pe.EventDriven = true
+		got, err := qntn.ServeSweepParallel(pe, sizes, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: event-driven serve sweep diverged from stepped\n got: %+v\nwant: %+v", workers, got, want)
+		}
+		if workers == 1 {
+			continue
+		}
+		gotStepped, err := qntn.ServeSweepParallel(p, sizes, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d stepped: %v", workers, err)
+		}
+		if !reflect.DeepEqual(gotStepped, want) {
+			t.Fatalf("workers=%d: stepped serve sweep not worker-invariant", workers)
+		}
+	}
+}
+
+// TestEventDrivenCoverageSweepWorkers pins the coverage sweep against
+// per-size Coverage runs of both paths at 1, 2 and 8 workers. The sweep has
+// its own cached fast path that bypasses Scenario.Coverage, so this is both
+// a worker-invariance check and a three-way equivalence: sweep == stepped
+// Coverage == event-driven Coverage for every size.
+func TestEventDrivenCoverageSweepWorkers(t *testing.T) {
+	sizes := []int{6, 12, 24}
+	duration := 6 * time.Hour
+	p := qntn.DefaultParams()
+	var want []qntn.CoveragePoint
+	for _, workers := range []int{1, 2, 8} {
+		pts, err := qntn.CoverageSweepParallel(p, sizes, duration, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = pts
+		} else if !reflect.DeepEqual(pts, want) {
+			t.Fatalf("workers=%d: coverage sweep not worker-invariant", workers)
+		}
+	}
+	for i, n := range sizes {
+		build := func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewSpaceGround(n, p) }
+		cov := oracletest.AssertCoverageEqual(t, build, p, duration)
+		if !reflect.DeepEqual(*cov, want[i].Result) {
+			t.Fatalf("size %d: sweep result %+v != per-size coverage result %+v", n, want[i].Result, *cov)
+		}
+	}
+}
+
+// TestEventDrivenRejectsTelemetry: instrumented scenarios must keep using
+// the stepped path (the engine records no telemetry), transparently — same
+// results, telemetry still collected.
+func TestEventDrivenTelemetryFallsBackToStepped(t *testing.T) {
+	p := qntn.DefaultParams()
+	p.EventDriven = true
+	sc, err := qntn.NewSpaceGround(6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.Coverage(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	pi := p
+	pi.Telemetry = col
+	sci, err := qntn.NewSpaceGround(6, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sci.Coverage(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("instrumented coverage diverged\n got: %+v\nwant: %+v", got, want)
+	}
+	if steps := col.Registry.Counter("coverage_steps_total").Value(); steps != uint64(want.Steps) {
+		t.Fatalf("instrumented run recorded %d coverage steps, want %d — telemetry not collected", steps, want.Steps)
+	}
+}

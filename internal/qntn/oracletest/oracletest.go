@@ -1,0 +1,176 @@
+// Package oracletest provides reusable differential-testing helpers that
+// pit the event-driven execution path against the brute-force stepped
+// simulation, which remains the semantic oracle: two scenarios are built
+// from identical parameters — differing only in Params.EventDriven — and
+// every experiment result must be reflect.DeepEqual-identical between them.
+//
+// The helpers grew out of the PR-3 snapshot equivalence harness
+// (snapshot_equiv_test.go) and extend it from single-snapshot graph
+// equality to whole-experiment equality: Coverage intervals, per-pair
+// coverage breakdowns with link-transition counts, and full serve results
+// including metrics and fidelity summaries. Any future execution path
+// (GPU offload, distributed stepping, ...) can reuse the same archetype
+// catalog and assertions.
+package oracletest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qntn/internal/fault"
+	"qntn/internal/qntn"
+)
+
+// Builder constructs a scenario from a parameter set. The same builder is
+// invoked twice per assertion — once for the stepped oracle, once for the
+// event-driven subject — so it must be deterministic in its inputs.
+type Builder func(p qntn.Params) (*qntn.Scenario, error)
+
+// Archetype is one named scenario family of the differential suite.
+type Archetype struct {
+	Name string
+	// Build constructs the scenario.
+	Build Builder
+	// Duration is the coverage horizon the suite exercises the archetype
+	// over — scaled down for the large constellations so the stepped
+	// oracle stays affordable in tier-1 test time.
+	Duration time.Duration
+	// Darkness enables the night-only operation constraint, exercising
+	// darkness boundaries where ground stations join and leave service.
+	Darkness bool
+	// HAPOutage is the HAP availability loss probability (0 disables).
+	HAPOutage float64
+}
+
+// Archetypes returns the suite's scenario catalog: the paper's SpaceGround
+// constellation sizes (6/24/54/108), the AirGround HAP architecture, and
+// the Hybrid future-work mix. Darkness and HAP-outage settings mirror the
+// snapshot equivalence suite so both harnesses stress the same regimes.
+func Archetypes() []Archetype {
+	spaceGround := func(n int) Builder {
+		return func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewSpaceGround(n, p) }
+	}
+	return []Archetype{
+		{Name: "space-ground-6", Build: spaceGround(6), Duration: 12 * time.Hour},
+		{Name: "space-ground-24", Build: spaceGround(24), Duration: 8 * time.Hour},
+		{Name: "space-ground-54-darkness", Build: spaceGround(54), Duration: 6 * time.Hour, Darkness: true},
+		{Name: "space-ground-108", Build: spaceGround(108), Duration: 4 * time.Hour},
+		{Name: "air-ground", Build: qntn.NewAirGround, Duration: 12 * time.Hour, Darkness: true, HAPOutage: 0.3},
+		{Name: "hybrid-12", Build: func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewHybrid(12, p) },
+			Duration: 8 * time.Hour, Darkness: true, HAPOutage: 0.25},
+	}
+}
+
+// Params returns the archetype's parameter set: defaults plus its darkness
+// and HAP-outage settings.
+func (a Archetype) Params() qntn.Params {
+	p := qntn.DefaultParams()
+	p.RequireDarkness = a.Darkness
+	p.HAPOutageProbability = a.HAPOutage
+	return p
+}
+
+// FaultConfig returns the suite's shared fault mix: platform outages on
+// every node kind plus attenuating weather, aggressive enough that every
+// fault gate fires within a few simulated hours.
+func FaultConfig(seed int64) fault.Config {
+	return fault.Config{
+		SatMTBF: 2 * time.Hour, SatMTTR: 20 * time.Minute,
+		HAPMTBF: 3 * time.Hour, HAPMTTR: 30 * time.Minute,
+		GroundMTBF: 6 * time.Hour, GroundMTTR: 15 * time.Minute,
+		WeatherP: 0.2, WeatherAttenuation: 0.5,
+		Seed: seed,
+	}
+}
+
+// Pair builds the scenario twice from identical parameters: the stepped
+// oracle (EventDriven off) and the event-driven subject (EventDriven on).
+func Pair(t testing.TB, build Builder, p qntn.Params) (stepped, event *qntn.Scenario) {
+	t.Helper()
+	p.EventDriven = false
+	stepped, err := build(p)
+	if err != nil {
+		t.Fatalf("oracletest: building stepped oracle: %v", err)
+	}
+	pe := p
+	pe.EventDriven = true
+	event, err = build(pe)
+	if err != nil {
+		t.Fatalf("oracletest: building event-driven subject: %v", err)
+	}
+	return stepped, event
+}
+
+// AssertCoverageEqual requires Coverage to be DeepEqual-identical between
+// the two paths and returns the oracle result for further inspection.
+func AssertCoverageEqual(t testing.TB, build Builder, p qntn.Params, duration time.Duration) *qntn.CoverageResult {
+	t.Helper()
+	stepped, event := Pair(t, build, p)
+	want, err := stepped.Coverage(duration)
+	if err != nil {
+		t.Fatalf("oracletest: stepped coverage: %v", err)
+	}
+	got, err := event.Coverage(duration)
+	if err != nil {
+		t.Fatalf("oracletest: event-driven coverage: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oracletest: event-driven coverage diverged from stepped oracle\n got: %+v\nwant: %+v", got, want)
+	}
+	return want
+}
+
+// AssertDetailedCoverageEqual requires DetailedCoverage — per-pair
+// intervals and link-transition counts included — to be DeepEqual-identical
+// between the two paths.
+func AssertDetailedCoverageEqual(t testing.TB, build Builder, p qntn.Params, duration time.Duration) *qntn.CoverageDetail {
+	t.Helper()
+	stepped, event := Pair(t, build, p)
+	want, err := stepped.DetailedCoverage(duration)
+	if err != nil {
+		t.Fatalf("oracletest: stepped detailed coverage: %v", err)
+	}
+	got, err := event.DetailedCoverage(duration)
+	if err != nil {
+		t.Fatalf("oracletest: event-driven detailed coverage: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oracletest: event-driven detailed coverage diverged from stepped oracle\n got: %+v\nwant: %+v", got, want)
+	}
+	return want
+}
+
+// AssertServeEqual requires RunServe — metrics, fidelity summary, and path
+// transmissivities included — to be DeepEqual-identical between the two
+// paths.
+func AssertServeEqual(t testing.TB, build Builder, p qntn.Params, cfg qntn.ServeConfig) *qntn.ServeResult {
+	t.Helper()
+	stepped, event := Pair(t, build, p)
+	want, err := stepped.RunServe(cfg)
+	if err != nil {
+		t.Fatalf("oracletest: stepped serve: %v", err)
+	}
+	got, err := event.RunServe(cfg)
+	if err != nil {
+		t.Fatalf("oracletest: event-driven serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oracletest: event-driven serve diverged from stepped oracle\n got: %+v\nwant: %+v", got, want)
+	}
+	return want
+}
+
+// AssertAllEqual runs the three experiment assertions back to back and
+// requires a non-degenerate run: an oracle that covers zero steps in every
+// experiment would vacuously pass, so at least one topology evaluation must
+// have happened.
+func AssertAllEqual(t testing.TB, build Builder, p qntn.Params, duration time.Duration, cfg qntn.ServeConfig) {
+	t.Helper()
+	cov := AssertCoverageEqual(t, build, p, duration)
+	AssertDetailedCoverageEqual(t, build, p, duration)
+	AssertServeEqual(t, build, p, cfg)
+	if cov.Steps == 0 {
+		t.Fatalf("oracletest: degenerate run: zero coverage steps at duration %v", duration)
+	}
+}

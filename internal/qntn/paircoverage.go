@@ -69,6 +69,9 @@ func (sc *Scenario) DetailedCoverage(duration time.Duration) (*CoverageDetail, e
 	if duration <= 0 {
 		return nil, fmt.Errorf("qntn: non-positive coverage duration %v", duration)
 	}
+	if sc.Params.EventDriven && sc.tel == nil {
+		return sc.detailedCoverageEventDriven(duration)
+	}
 	step := sc.Params.StepInterval
 	detail := &CoverageDetail{All: CoverageResult{Total: duration}}
 	for i := 0; i < len(sc.LANs); i++ {

@@ -128,6 +128,16 @@ type Params struct {
 	// collector is excluded from the JSON codec, ParamsHash and Validate,
 	// and the nil default costs nothing on any hot path.
 	Telemetry *telemetry.Collector
+
+	// EventDriven, when true, runs Coverage, DetailedCoverage and RunServe
+	// through the event-driven visibility-window engine (see windows.go and
+	// eventloop.go) instead of brute-force per-step snapshot rebuilds. The
+	// results are identical — the stepped path remains the semantic oracle,
+	// asserted by the differential test suite — only faster. Runtime wiring
+	// only, like Telemetry: excluded from the JSON codec, ParamsHash and
+	// Validate. Telemetry-instrumented runs always use the stepped path
+	// (per-step snapshot stats have no event-driven equivalent).
+	EventDriven bool
 }
 
 // FidelityModel selects the entanglement source placement used when

@@ -83,6 +83,10 @@ type Scenario struct {
 	// across concurrent sweep workers — each worker holds its own).
 	stepPool sync.Pool
 
+	// engPool recycles event engines across event-driven runs; the window
+	// scan's position-memo slabs dominate a fresh engine's allocations.
+	engPool sync.Pool
+
 	// tel is the scenario-level instrumentation, nil (free) by default.
 	// See Instrument.
 	tel *scenarioTelemetry

@@ -45,14 +45,27 @@ func (cfg ServeConfig) validate() error {
 	return nil
 }
 
+// stepGap returns the spacing between this config's sample instants:
+// Horizon/Steps, falling back to the scenario step interval when the
+// integer division underflows to zero (Horizon shorter than Steps
+// nanoseconds). Every sampleTimes-derived loop — RunServe, RunServeDES, the
+// event-driven serve grid — must use this single definition; duplicating
+// the fallback is how the DES path once drifted a step short (see the
+// shared regression test).
+func (cfg ServeConfig) stepGap(p Params) time.Duration {
+	cfg = cfg.withDefaults()
+	gap := cfg.Horizon / time.Duration(cfg.Steps)
+	if gap <= 0 {
+		gap = p.StepInterval
+	}
+	return gap
+}
+
 // sampleTimes returns the topology instants RunServe will evaluate under
 // these parameters: Steps instants spread stepGap apart from t = 0.
 func (cfg ServeConfig) sampleTimes(p Params) []time.Duration {
 	cfg = cfg.withDefaults()
-	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
-	if stepGap <= 0 {
-		stepGap = p.StepInterval
-	}
+	stepGap := cfg.stepGap(p)
 	times := make([]time.Duration, cfg.Steps)
 	for step := range times {
 		times[step] = time.Duration(step) * stepGap
@@ -86,6 +99,9 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if sc.Params.EventDriven && sc.tel == nil {
+		return sc.runServeEventDriven(cfg)
+	}
 	res := &ServeResult{Config: cfg}
 	wl := NewWorkload(sc, cfg.Seed)
 

@@ -179,6 +179,44 @@ func (se *stepEval) reset(t time.Duration) {
 	}
 }
 
+// setInstant rebinds the evaluator to instant t without touching any cached
+// per-node data. The event-driven engine uses it together with refreshNode /
+// refreshRelayAt to refresh only the nodes that participate in open
+// visibility windows, instead of reset's full per-node sweep.
+func (se *stepEval) setInstant(t time.Duration) {
+	se.t = t
+	se.horizonRejects = 0
+	se.rangeRejects = 0
+}
+
+// refreshNode recomputes the per-step cache entries of node i at the
+// evaluator's current instant — exactly reset's per-node body for one node.
+func (se *stepEval) refreshNode(i int) {
+	sc := se.sc
+	t := se.t
+	if se.kind[i] == netsim.Ground {
+		if sc.Params.RequireDarkness && se.ground[i] != nil {
+			se.dark[i] = sc.sun.IsDark(se.ground[i].LLA(), t, sc.Params.twilight())
+		}
+		return
+	}
+	se.refreshRelayAt(i, se.nodes[i].PositionAt(t))
+}
+
+// refreshRelayAt installs a relay position computed elsewhere (e.g. the
+// window engine's memoized propagation) and derives the dependent caches,
+// exactly as reset would from PositionAt. i must be a relay (non-Ground).
+func (se *stepEval) refreshRelayAt(i int, p geo.Vec3) {
+	se.pos[i] = p
+	se.normM[i] = p.Norm()
+	l := geo.ToLLA(p)
+	se.lla[i] = l
+	se.frame[i] = geo.NewFrame(l)
+	if se.kind[i] == netsim.HAP {
+		se.avail[i] = se.sc.hapAvailable(se.nodes[i], se.t)
+	}
+}
+
 // Close implements netsim.StepEvaluator, returning the evaluator to its
 // scenario's pool.
 //

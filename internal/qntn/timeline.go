@@ -98,10 +98,11 @@ func (sc *Scenario) RunServeDES(cfg ServeConfig) (*ServeDESResult, error) {
 	res := &ServeDESResult{}
 	res.Config = cfg
 	wl := NewWorkload(sc, cfg.Seed)
-	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
-	if stepGap <= 0 {
-		stepGap = sc.Params.StepInterval
-	}
+	// sampleTimes is the shared source of the per-step instants; deriving
+	// the step gap locally once dropped every sample past the horizon when
+	// the Horizon/Steps division underflowed and the StepInterval fallback
+	// pushed the samples beyond it (see TestServeDESSamplesAllSteps).
+	times := cfg.sampleTimes(sc.Params)
 
 	var fids, etas, latencies []float64
 	var simErr error
@@ -158,12 +159,16 @@ func (sc *Scenario) RunServeDES(cfg ServeConfig) (*ServeDESResult, error) {
 			res.Metrics.Record(out)
 		}
 	}
-	for step := 0; step < cfg.Steps; step++ {
-		if err := sim.Schedule(time.Duration(step)*stepGap, "serve-step", serveStep); err != nil {
+	for _, at := range times {
+		if err := sim.Schedule(at, "serve-step", serveStep); err != nil {
 			return nil, err
 		}
 	}
-	if err := sim.Run(cfg.Horizon); err != nil {
+	runUntil := cfg.Horizon
+	if last := times[len(times)-1]; last > runUntil {
+		runUntil = last
+	}
+	if err := sim.Run(runUntil); err != nil {
 		return nil, err
 	}
 	if simErr != nil {

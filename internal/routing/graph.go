@@ -183,6 +183,23 @@ func (g *Graph) RemoveEdge(a, b string) {
 	g.mat[j*g.matN+i] = absentEdge
 }
 
+// RemoveEdgeByIndex deletes the undirected edge between the nodes at dense
+// indices i and j if present, skipping the ID lookups of RemoveEdge — the
+// fast path for incremental (event-driven) snapshot maintenance. Indices
+// outside the materialized matrix are a no-op, matching RemoveEdge.
+//
+//qntn:hotpath once per closed link of every topology event
+func (g *Graph) RemoveEdgeByIndex(i, j int) {
+	if i < 0 || j < 0 || i >= g.matN || j >= g.matN {
+		return
+	}
+	if g.mat[i*g.matN+j] >= 0 {
+		g.edges--
+	}
+	g.mat[i*g.matN+j] = absentEdge
+	g.mat[j*g.matN+i] = absentEdge
+}
+
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.ids) }
 
