@@ -43,9 +43,11 @@ import (
 	"time"
 
 	"qntn/internal/experiments"
+	"qntn/internal/netsim"
 	"qntn/internal/orbit"
 	"qntn/internal/qkd"
 	"qntn/internal/qntn"
+	"qntn/internal/routing"
 	"qntn/internal/telemetry"
 )
 
@@ -74,6 +76,11 @@ type options struct {
 	telDir      string
 	events      bool
 	eventDriven bool
+
+	walkerShells   string
+	islGrid        bool
+	ground         string
+	noSpatialIndex bool
 }
 
 // applyFaults overlays the fault flags onto the parameter set (after any
@@ -149,8 +156,12 @@ func run(args []string, w io.Writer) (err error) {
 	fs.StringVar(&opt.telDir, "telemetry-dir", "", "instrument the run and write manifest.json, metrics.txt and metrics.prom into this directory")
 	fs.BoolVar(&opt.events, "events", false, "with -telemetry-dir, also collect per-step NDJSON event traces into events.ndjson")
 	fs.BoolVar(&opt.eventDriven, "event-driven", false, "drive coverage and serve runs from precomputed visibility windows instead of brute-force stepping (results are identical; telemetry-instrumented runs always step)")
+	fs.StringVar(&opt.walkerShells, "walker-shells", "1008/24/1@550:53", "walker subcommand: multi-shell constellation spec t/p/f@altkm:incdeg[,...]")
+	fs.BoolVar(&opt.islGrid, "isl-grid", false, "walker subcommand: restrict inter-satellite links to the +grid topology (intra-plane ring + adjacent planes)")
+	fs.StringVar(&opt.ground, "ground", "paper", "walker subcommand: ground set, paper (Table I Tennessee LANs) or global (plus five metro LANs on other continents)")
+	fs.BoolVar(&opt.noSpatialIndex, "no-spatial-index", false, "force dense n² candidate generation instead of the spatial index (results are identical; differential-testing escape hatch)")
 	fs.Usage = func() {
-		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|params|all")
+		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|walker|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -225,6 +236,7 @@ func run(args []string, w io.Writer) (err error) {
 		return err
 	}
 	params.EventDriven = opt.eventDriven
+	params.DisableSpatialIndex = opt.noSpatialIndex
 	serveCfg := qntn.ServeConfig{
 		RequestsPerStep: opt.requests,
 		Steps:           opt.steps,
@@ -282,6 +294,8 @@ func run(args []string, w io.Writer) (err error) {
 			return runThroughput(w, params, serveCfg)
 		case "arrivals":
 			return runArrivals(w, params, opt.duration, opt.seed)
+		case "walker":
+			return runWalker(w, params, opt)
 		case "all":
 			for _, f := range []func() error{
 				func() error { return runFig5(w, opt) },
@@ -808,4 +822,58 @@ func runArrivals(w io.Writer, p qntn.Params, duration time.Duration, seed int64)
 	}
 	return experiments.RenderTable(w, "Extension — Poisson arrivals through the DES (queueing dynamics)",
 		[]string{"architecture", "rate", "served", "immediate", "mean wait", "max queue", "fidelity"}, cells)
+}
+
+// runWalker assembles a multi-shell Walker constellation — the global-scale
+// scenario the spatial index makes tractable — and runs a coverage study
+// over it. One instrumented snapshot reports the index's selectivity: the
+// fraction of the n(n-1)/2 node pairs the candidate generator actually
+// visited.
+func runWalker(w io.Writer, p qntn.Params, opt options) error {
+	shells, err := orbit.ParseWalkerShells(opt.walkerShells)
+	if err != nil {
+		return err
+	}
+	spec := qntn.WalkerSpec{Shells: shells, ISLGrid: opt.islGrid}
+	switch opt.ground {
+	case "", "paper":
+	case "global":
+		spec.Ground = qntn.GlobalGroundNetworks()
+	default:
+		return fmt.Errorf("unknown -ground %q (want paper or global)", opt.ground)
+	}
+	sc, err := qntn.NewWalker(spec, p)
+	if err != nil {
+		return err
+	}
+	nSats := 0
+	for _, sh := range shells {
+		nSats += sh.Count()
+	}
+	ground := opt.ground
+	if ground == "" {
+		ground = "paper"
+	}
+	fmt.Fprintf(w, "Walker constellation: %d satellites in %d shell(s), %d nodes total (isl-grid=%v, ground=%s)\n",
+		nSats, len(shells), sc.Net.NumNodes(), opt.islGrid, ground)
+
+	g := routing.NewGraph()
+	var st netsim.SnapshotStats
+	if err := sc.Net.SnapshotIntoStats(g, 0, &st); err != nil {
+		return err
+	}
+	if st.Pairs > 0 {
+		visited := int64(st.Pairs) - st.IndexCulled
+		fmt.Fprintf(w, "snapshot at t=0: %d node pairs, %d visited after spatial-index culling (%.2f%%), %d links admitted\n",
+			st.Pairs, visited, 100*float64(visited)/float64(st.Pairs), st.Admitted)
+	}
+
+	cov, err := sc.Coverage(opt.duration)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "coverage over %v: %s (%v covered across %d interval(s))\n",
+		opt.duration, experiments.FormatPercent(cov.Percent()),
+		cov.Covered.Truncate(time.Second), len(cov.Intervals))
+	return nil
 }

@@ -143,11 +143,24 @@ func (se *stepEval) FaultStats() (nodesDown int, weather bool) {
 // its telemetry visible.
 //
 //qntn:hotpath
-func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
+func (se *stepEval) PairStats() (horizonRejects, rangeRejects, indexCulled int64) {
 	if ps, ok := se.inner.(netsim.PairStatser); ok {
 		return ps.PairStats()
 	}
-	return 0, 0
+	return 0, 0, 0
+}
+
+// CandidatePairs implements netsim.PairEnumerator by forwarding the inner
+// evaluator's spatial index. Sound because fault injection only ever
+// removes links — a superset of the inner model's usable pairs is a
+// superset of the decorated model's too.
+//
+//qntn:hotpath
+func (se *stepEval) CandidatePairs() ([]netsim.PackedPair, bool) {
+	if pe, ok := se.inner.(netsim.PairEnumerator); ok {
+		return pe.CandidatePairs()
+	}
+	return nil, false
 }
 
 // sameNodes reports whether the static caches were built for exactly this

@@ -18,6 +18,9 @@ type Instruments struct {
 	// PairStatser; zero for models that do not implement it).
 	HorizonRejects *telemetry.Counter
 	RangeRejects   *telemetry.Counter
+	// IndexCulled counts pairs the spatial index excluded from evaluation
+	// entirely (never offered to EvaluatePair); zero when no index ran.
+	IndexCulled *telemetry.Counter
 	// NodesDownSteps accumulates, over steps, the number of nodes held down
 	// by fault injection (via FaultStatser). WeatherSteps counts steps spent
 	// inside a weather blackout.
@@ -37,6 +40,7 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 		LinksAdmitted:  reg.Counter("links_admitted_total"),
 		HorizonRejects: reg.Counter("horizon_prefilter_rejects_total"),
 		RangeRejects:   reg.Counter("range_prefilter_rejects_total"),
+		IndexCulled:    reg.Counter("index_culled_pairs_total"),
 		NodesDownSteps: reg.Counter("fault_node_down_steps_total"),
 		WeatherSteps:   reg.Counter("fault_weather_steps_total"),
 	}
@@ -55,6 +59,7 @@ func (ins *Instruments) Observe(st *SnapshotStats) {
 	ins.LinksAdmitted.Add(uint64(st.Admitted))
 	ins.HorizonRejects.Add(uint64(st.HorizonRejects))
 	ins.RangeRejects.Add(uint64(st.RangeRejects))
+	ins.IndexCulled.Add(uint64(st.IndexCulled))
 	ins.NodesDownSteps.Add(uint64(st.NodesDown))
 	if st.Weather {
 		ins.WeatherSteps.Inc()
@@ -67,10 +72,13 @@ type SnapshotStats struct {
 	// produced a usable link.
 	Pairs    int
 	Admitted int
-	// HorizonRejects and RangeRejects are the evaluator's prefilter hits
-	// (zero when the evaluator does not implement PairStatser).
+	// HorizonRejects and RangeRejects are the evaluator's prefilter hits;
+	// IndexCulled is the number of pairs the spatial index kept out of the
+	// pair loop altogether (all zero when the evaluator does not implement
+	// PairStatser).
 	HorizonRejects int64
 	RangeRejects   int64
+	IndexCulled    int64
 	// NodesDown and Weather describe fault state resolved for this step
 	// (zero when the evaluator does not implement FaultStatser).
 	NodesDown int
@@ -78,10 +86,12 @@ type SnapshotStats struct {
 }
 
 // PairStatser is optionally implemented by step evaluators that count
-// geometric prefilter rejections. Counts are for the current step and are
-// drained before Close.
+// geometric prefilter rejections. indexCulled is the number of pairs a
+// spatial index removed from the candidate set before evaluation (zero when
+// no index ran this step). Counts are for the current step and are drained
+// before Close.
 type PairStatser interface {
-	PairStats() (horizonRejects, rangeRejects int64)
+	PairStats() (horizonRejects, rangeRejects, indexCulled int64)
 }
 
 // FaultStatser is optionally implemented by step evaluators that resolve
@@ -100,7 +110,7 @@ func DrainStepStats(ev StepEvaluator, st *SnapshotStats) {
 		return
 	}
 	if ps, ok := ev.(PairStatser); ok {
-		st.HorizonRejects, st.RangeRejects = ps.PairStats()
+		st.HorizonRejects, st.RangeRejects, st.IndexCulled = ps.PairStats()
 	}
 	if fs, ok := ev.(FaultStatser); ok {
 		st.NodesDown, st.Weather = fs.FaultStats()

@@ -48,6 +48,38 @@ type StepModel interface {
 	BeginStep(nodes []Node, t time.Duration) StepEvaluator
 }
 
+// PackedPair encodes an (i, j) dense node-index pair with i < j as
+// i<<32 | j. Packed pairs sort in exactly the order the dense double loop
+// "for i { for j := i+1 }" visits them, so an ascending packed slice
+// replays the dense iteration order bit for bit.
+type PackedPair uint64
+
+// PackPair packs a dense index pair. Callers must pass i < j.
+//
+//qntn:hotpath
+func PackPair(i, j int) PackedPair { return PackedPair(uint64(i)<<32 | uint64(j)) }
+
+// Unpack returns the pair's dense indices.
+//
+//qntn:hotpath
+func (p PackedPair) Unpack() (i, j int) { return int(p >> 32), int(p & 0xffffffff) }
+
+// PairEnumerator is optionally implemented by step evaluators that can
+// enumerate a candidate superset of the step's usable pairs (e.g. from a
+// spatial index). The contract:
+//
+//   - pairs is sorted ascending — i.e. in dense double-loop order — so a
+//     caller iterating it admits edges in exactly the order the full O(n²)
+//     scan would;
+//   - pairs is a conservative superset: every pair EvaluatePair would
+//     accept appears in it (extra pairs are fine, EvaluatePair re-checks);
+//   - the slice is owned by the evaluator and valid until Close;
+//   - ok=false means no index is available this step and the caller must
+//     fall back to the dense scan.
+type PairEnumerator interface {
+	CandidatePairs() (pairs []PackedPair, ok bool)
+}
+
 // Network is the node container: an ordered set of hosts plus the link
 // model that induces the time-varying topology.
 type Network struct {
@@ -187,14 +219,30 @@ func (n *Network) snapshotInto(g *routing.Graph, t time.Duration, st *SnapshotSt
 	g.ResetEdges()
 	ev := n.BeginStep(t)
 	admitted := 0
-	for i := 0; i < len(n.nodes); i++ {
-		for j := i + 1; j < len(n.nodes); j++ {
+	cands, indexed := candidatePairs(ev)
+	if indexed {
+		// Candidates are sorted ascending (= dense double-loop order), so
+		// edges are admitted in exactly the order the full scan would use.
+		for _, c := range cands {
+			i, j := c.Unpack()
 			if eta, ok := ev.EvaluatePair(i, j); ok {
 				if err := g.AddEdgeByIndex(i, j, eta); err != nil {
 					ev.Close()
 					return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
 				}
 				admitted++
+			}
+		}
+	} else {
+		for i := 0; i < len(n.nodes); i++ {
+			for j := i + 1; j < len(n.nodes); j++ {
+				if eta, ok := ev.EvaluatePair(i, j); ok {
+					if err := g.AddEdgeByIndex(i, j, eta); err != nil {
+						ev.Close()
+						return fmt.Errorf("netsim: snapshot at %v: %w", t, err)
+					}
+					admitted++
+				}
 			}
 		}
 	}
@@ -210,6 +258,17 @@ func (n *Network) snapshotInto(g *routing.Graph, t time.Duration, st *SnapshotSt
 	}
 	ev.Close()
 	return nil
+}
+
+// candidatePairs asks ev for an indexed candidate list when it implements
+// PairEnumerator; ok=false means the caller must run the dense pair loop.
+//
+//qntn:hotpath
+func candidatePairs(ev StepEvaluator) ([]PackedPair, bool) {
+	if pe, ok := ev.(PairEnumerator); ok {
+		return pe.CandidatePairs()
+	}
+	return nil, false
 }
 
 // graphMatches reports whether g's node list is exactly the network's node

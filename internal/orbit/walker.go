@@ -3,6 +3,7 @@ package orbit
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"qntn/internal/geo"
 )
@@ -35,6 +36,62 @@ func WalkerDelta(totalSats, planes, phasing int, inclinationDeg, altitudeM float
 		}
 	}
 	return sats, nil
+}
+
+// WalkerShell describes one Walker-Delta shell of a (possibly multi-shell)
+// constellation: t/p/f at a given altitude and inclination.
+type WalkerShell struct {
+	TotalSats      int
+	Planes         int
+	Phasing        int
+	InclinationDeg float64
+	AltitudeM      float64
+}
+
+// Count returns the shell's satellite count.
+func (s WalkerShell) Count() int { return s.TotalSats }
+
+// WalkerShells concatenates the elements of several Walker shells in shell
+// order (each shell plane-major, as WalkerDelta returns them). Every shell
+// must be a valid Walker pattern at a positive altitude.
+func WalkerShells(shells []WalkerShell) ([]Elements, error) {
+	if len(shells) == 0 {
+		return nil, fmt.Errorf("orbit: no Walker shells")
+	}
+	var out []Elements
+	for i, sh := range shells {
+		if !(sh.AltitudeM > 0) {
+			return nil, fmt.Errorf("orbit: shell %d: non-positive altitude %v m", i, sh.AltitudeM)
+		}
+		elems, err := WalkerDelta(sh.TotalSats, sh.Planes, sh.Phasing, sh.InclinationDeg, sh.AltitudeM)
+		if err != nil {
+			return nil, fmt.Errorf("orbit: shell %d: %w", i, err)
+		}
+		out = append(out, elems...)
+	}
+	return out, nil
+}
+
+// ParseWalkerShells parses a comma-separated multi-shell spec of the form
+// "t/p/f@altkm:incdeg", e.g. "1008/24/1@550:53,360/20/1@600:70". The phasing
+// factor f is in units of 360/t degrees, altitude in kilometers and
+// inclination in degrees.
+func ParseWalkerShells(spec string) ([]WalkerShell, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("orbit: empty Walker shell spec")
+	}
+	var shells []WalkerShell
+	for _, part := range strings.Split(spec, ",") {
+		var sh WalkerShell
+		var altKm float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d/%d/%d@%f:%f",
+			&sh.TotalSats, &sh.Planes, &sh.Phasing, &altKm, &sh.InclinationDeg); err != nil {
+			return nil, fmt.Errorf("orbit: bad Walker shell %q (want t/p/f@altkm:incdeg): %w", part, err)
+		}
+		sh.AltitudeM = altKm * 1e3
+		shells = append(shells, sh)
+	}
+	return shells, nil
 }
 
 // tableIIGapPlanes lists the RAANs (degrees) of the 12 gap-filling planes

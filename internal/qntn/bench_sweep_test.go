@@ -9,6 +9,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/orbit"
+	"qntn/internal/routing"
 )
 
 // benchJSONPath, when set, makes TestMain write every sweep benchmark
@@ -124,8 +128,16 @@ func flushSweepBench(path string) error {
 		// CoverageDay108EventSpeedup documents the event-driven engine
 		// against the brute-force stepped path on the paper's hardest
 		// coverage run (108 satellites, full day).
-		CoverageDay108EventSpeedup float64            `json:"coverage_day108_event_speedup_vs_stepped,omitempty"`
-		Benchmarks                 []sweepBenchRecord `json:"benchmarks"`
+		CoverageDay108EventSpeedup float64 `json:"coverage_day108_event_speedup_vs_stepped,omitempty"`
+		// Walker1kPairsVisitedRatio is the fraction of the n(n-1)/2 node
+		// pairs the spatial index actually visits per step on the
+		// 1008-satellite Walker run (dense generation visits 1.0);
+		// Walker1kDayCostRatio is NsPerOp(n=1008)/NsPerOp(n=504) over the
+		// same daylong grid — ~2 when per-step cost is linear in the
+		// satellite count, ~4 if it were quadratic.
+		Walker1kPairsVisitedRatio float64            `json:"walker1k_pairs_visited_ratio,omitempty"`
+		Walker1kDayCostRatio      float64            `json:"walker1k_day_cost_ratio,omitempty"`
+		Benchmarks                []sweepBenchRecord `json:"benchmarks"`
 	}{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -153,6 +165,19 @@ func flushSweepBench(path string) error {
 	}
 	if day108Stepped > 0 && day108Event > 0 {
 		report.CoverageDay108EventSpeedup = day108Stepped / day108Event
+	}
+	report.Walker1kPairsVisitedRatio = walker1kPairsVisitedRatio
+	var walker504, walker1008 float64
+	for _, r := range sweepBench.records {
+		switch r.Name {
+		case "CoverageDayWalker1k/n=504":
+			walker504 = r.NsPerOp
+		case "CoverageDayWalker1k/n=1008":
+			walker1008 = r.NsPerOp
+		}
+	}
+	if walker504 > 0 && walker1008 > 0 {
+		report.Walker1kDayCostRatio = walker1008 / walker504
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -250,6 +275,59 @@ func BenchmarkCoverageDay108(b *testing.B) {
 			}
 			allocs, bytes := m.stop()
 			recordSweepBench(b, "CoverageDay108/"+mode.name, 1, allocs, bytes)
+		})
+	}
+}
+
+// walker1kPairsVisitedRatio is captured by BenchmarkCoverageDayWalker1k's
+// 1008-satellite case and emitted by flushSweepBench.
+var walker1kPairsVisitedRatio float64
+
+// BenchmarkCoverageDayWalker1k measures daylong stepped coverage of
+// global-scale Walker constellations over the multi-continent ground set —
+// the regime the spatial index targets. The two sizes pin the scaling: with
+// dense n² candidate generation the per-step cost would quadruple from
+// n=504 to n=1008; with the index it roughly doubles (the JSON report
+// derives the ratio). The 1008-satellite case also records the index's
+// selectivity — the fraction of node pairs visited per step.
+func BenchmarkCoverageDayWalker1k(b *testing.B) {
+	shell := func(inclinationDeg, altitudeM float64) orbit.WalkerShell {
+		return orbit.WalkerShell{TotalSats: 504, Planes: 12, Phasing: 1,
+			InclinationDeg: inclinationDeg, AltitudeM: altitudeM}
+	}
+	cases := []struct {
+		name   string
+		shells []orbit.WalkerShell
+	}{
+		{"n=504", []orbit.WalkerShell{shell(53, 550e3)}},
+		{"n=1008", []orbit.WalkerShell{shell(53, 550e3), shell(70, 600e3)}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := WalkerSpec{Shells: tc.shells, ISLGrid: true, Ground: GlobalGroundNetworks()}
+			sc, err := NewWalker(spec, DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := routing.NewGraph()
+			var st netsim.SnapshotStats
+			if err := sc.Net.SnapshotIntoStats(g, 0, &st); err != nil {
+				b.Fatal(err)
+			}
+			if tc.name == "n=1008" && st.Pairs > 0 {
+				walker1kPairsVisitedRatio = float64(int64(st.Pairs)-st.IndexCulled) / float64(st.Pairs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var m allocMeter
+			m.start()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.FullDayCoverage(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			allocs, bytes := m.stop()
+			recordSweepBench(b, "CoverageDayWalker1k/"+tc.name, 1, allocs, bytes)
 		})
 	}
 }

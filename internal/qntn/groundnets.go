@@ -92,3 +92,29 @@ func GroundNetworks() []LocalNetwork {
 func NodeID(network string, i int) string {
 	return fmt.Sprintf("%s-%02d", network, i+1)
 }
+
+// GlobalGroundNetworks returns the paper's three Tennessee LANs plus five
+// metro networks on other continents — the multi-continent ground set the
+// global-backbone related work studies. Each metro LAN is a small campus
+// cluster (~100 m node spacing) around the city center.
+func GlobalGroundNetworks() []LocalNetwork {
+	nets := GroundNetworks()
+	metro := func(name string, lat, lon float64) LocalNetwork {
+		return LocalNetwork{
+			Name: name,
+			Nodes: []geo.LLA{
+				{LatDeg: lat, LonDeg: lon},
+				{LatDeg: lat + 0.001, LonDeg: lon},
+				{LatDeg: lat, LonDeg: lon + 0.001},
+				{LatDeg: lat + 0.001, LonDeg: lon + 0.001},
+			},
+		}
+	}
+	return append(nets,
+		metro("GVA", 46.2044, 6.1432),    // Geneva
+		metro("TKO", 35.6762, 139.6503),  // Tokyo
+		metro("SYD", -33.8688, 151.2093), // Sydney
+		metro("BLR", 12.9716, 77.5946),   // Bengaluru
+		metro("SPO", -23.5505, -46.6333), // São Paulo
+	)
+}

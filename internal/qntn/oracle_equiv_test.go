@@ -41,6 +41,30 @@ func TestEventDrivenMatchesSteppedOracle(t *testing.T) {
 	}
 }
 
+// TestSpatialIndexMatchesDense is the dense-vs-index differential matrix:
+// every archetype, faults off and on, stepped and event-driven — toggling
+// only Params.DisableSpatialIndex between otherwise identical builds. The
+// spatial index is an exact candidate filter, so results must be
+// byte-identical everywhere; durations are capped so the doubled build
+// count stays affordable next to the engine matrix above.
+func TestSpatialIndexMatchesDense(t *testing.T) {
+	for _, arch := range oracletest.Archetypes() {
+		arch := arch
+		duration := arch.Duration
+		if duration > 2*time.Hour {
+			duration = 2 * time.Hour
+		}
+		t.Run(arch.Name, func(t *testing.T) {
+			oracletest.AssertIndexEquivalence(t, arch.Build, arch.Params(), duration)
+		})
+		t.Run(arch.Name+"-faults", func(t *testing.T) {
+			p := arch.Params()
+			p.Fault = oracletest.FaultConfig(11)
+			oracletest.AssertIndexEquivalence(t, arch.Build, p, duration)
+		})
+	}
+}
+
 // TestEventDrivenServeSweepWorkers runs the serve sweep — whose per-size
 // scenarios route through RunServe and therefore through the event engine
 // when EventDriven is set — at 1, 2 and 8 workers, and requires all six

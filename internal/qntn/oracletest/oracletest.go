@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"qntn/internal/fault"
+	"qntn/internal/orbit"
 	"qntn/internal/qntn"
 )
 
@@ -44,12 +45,22 @@ type Archetype struct {
 }
 
 // Archetypes returns the suite's scenario catalog: the paper's SpaceGround
-// constellation sizes (6/24/54/108), the AirGround HAP architecture, and
-// the Hybrid future-work mix. Darkness and HAP-outage settings mirror the
-// snapshot equivalence suite so both harnesses stress the same regimes.
+// constellation sizes (6/24/54/108), the AirGround HAP architecture, the
+// Hybrid future-work mix, and a two-shell Walker constellation with the
+// +grid inter-satellite-link topology — the global-scale regime the spatial
+// index targets (96 satellites, over the index's node cutoff). Darkness and
+// HAP-outage settings mirror the snapshot equivalence suite so both
+// harnesses stress the same regimes.
 func Archetypes() []Archetype {
 	spaceGround := func(n int) Builder {
 		return func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewSpaceGround(n, p) }
+	}
+	walker := qntn.WalkerSpec{
+		Shells: []orbit.WalkerShell{
+			{TotalSats: 48, Planes: 8, Phasing: 1, InclinationDeg: 53, AltitudeM: 550e3},
+			{TotalSats: 48, Planes: 8, Phasing: 1, InclinationDeg: 60, AltitudeM: 600e3},
+		},
+		ISLGrid: true,
 	}
 	return []Archetype{
 		{Name: "space-ground-6", Build: spaceGround(6), Duration: 12 * time.Hour},
@@ -59,6 +70,8 @@ func Archetypes() []Archetype {
 		{Name: "air-ground", Build: qntn.NewAirGround, Duration: 12 * time.Hour, Darkness: true, HAPOutage: 0.3},
 		{Name: "hybrid-12", Build: func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewHybrid(12, p) },
 			Duration: 8 * time.Hour, Darkness: true, HAPOutage: 0.25},
+		{Name: "walker-96-islgrid", Build: func(p qntn.Params) (*qntn.Scenario, error) { return qntn.NewWalker(walker, p) },
+			Duration: 3 * time.Hour},
 	}
 }
 
@@ -159,6 +172,43 @@ func AssertServeEqual(t testing.TB, build Builder, p qntn.Params, cfg qntn.Serve
 		t.Fatalf("oracletest: event-driven serve diverged from stepped oracle\n got: %+v\nwant: %+v", got, want)
 	}
 	return want
+}
+
+// AssertIndexEquivalence requires Coverage to be DeepEqual-identical
+// between spatial-index candidate generation (the default) and the dense n²
+// scan (Params.DisableSpatialIndex), on both the stepped and the
+// event-driven execution path. DisableSpatialIndex is the only knob toggled
+// between the two builds; on scenarios below the index's node cutoff the
+// toggle is a no-op and the assertion is vacuous but still cheap.
+func AssertIndexEquivalence(t testing.TB, build Builder, p qntn.Params, duration time.Duration) {
+	t.Helper()
+	for _, eventDriven := range []bool{false, true} {
+		pi := p
+		pi.EventDriven = eventDriven
+		pi.DisableSpatialIndex = false
+		indexed, err := build(pi)
+		if err != nil {
+			t.Fatalf("oracletest: building indexed scenario: %v", err)
+		}
+		pd := pi
+		pd.DisableSpatialIndex = true
+		dense, err := build(pd)
+		if err != nil {
+			t.Fatalf("oracletest: building dense scenario: %v", err)
+		}
+		want, err := dense.Coverage(duration)
+		if err != nil {
+			t.Fatalf("oracletest: dense coverage: %v", err)
+		}
+		got, err := indexed.Coverage(duration)
+		if err != nil {
+			t.Fatalf("oracletest: indexed coverage: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("oracletest: spatial index diverged from dense scan (eventDriven=%v)\n got: %+v\nwant: %+v",
+				eventDriven, got, want)
+		}
+	}
 }
 
 // AssertAllEqual runs the three experiment assertions back to back and

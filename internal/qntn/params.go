@@ -138,6 +138,15 @@ type Params struct {
 	// Validate. Telemetry-instrumented runs always use the stepped path
 	// (per-step snapshot stats have no event-driven equivalent).
 	EventDriven bool
+
+	// DisableSpatialIndex forces dense n² candidate generation in both the
+	// per-step evaluator and the window precomputation, bypassing the ECEF
+	// grid index (see spatialindex.go). The index is exact — results are
+	// byte-identical either way, asserted by the equivalence suite — so
+	// this exists for differential testing and as an escape hatch. Runtime
+	// wiring only, like Telemetry: excluded from the JSON codec, ParamsHash
+	// and Validate.
+	DisableSpatialIndex bool
 }
 
 // FidelityModel selects the entanglement source placement used when

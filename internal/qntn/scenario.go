@@ -2,6 +2,7 @@ package qntn
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +71,12 @@ type Scenario struct {
 	satAltM      float64
 	islClearance float64
 	sun          astro.Sun
+
+	// islAdj, when non-nil, restricts inter-satellite links to an explicit
+	// grid topology: each satellite ID maps to its sorted allowed-partner
+	// IDs (symmetric). nil means any satellite pair may link — the paper's
+	// default. See WalkerSpec.ISLGrid.
+	islAdj map[string][]string
 
 	// Squared-slant-range prefilter gates derived from the transmissivity
 	// threshold (see channel.FSOConfig.MaxUsableRangeM2): beyond the gate
@@ -147,6 +154,109 @@ func NewHybrid(nSats int, p Params) (*Scenario, error) {
 	return assemble(Hybrid, p, relays)
 }
 
+// WalkerSpec configures a multi-shell Walker-Delta scenario — the
+// global-scale constellations of the related work (Mantri et al.'s
+// backbone, the transatlantic relay study), far beyond the paper's Table II
+// catalog.
+type WalkerSpec struct {
+	// Shells lists the Walker shells, concatenated in order.
+	Shells []orbit.WalkerShell
+	// ISLGrid, when true, restricts inter-satellite links to the +grid
+	// topology: each satellite may link only to its two intra-plane ring
+	// neighbors and the same slot of the two adjacent planes of its own
+	// shell. When false any satellite pair in range may link (the paper's
+	// default).
+	ISLGrid bool
+	// Ground selects the local networks; nil means the paper's Table I
+	// Tennessee networks (see also GlobalGroundNetworks).
+	Ground []LocalNetwork
+}
+
+// NewWalker assembles a space-ground scenario over a multi-shell Walker
+// constellation. Satellite IDs are "SAT-0001"... in shell-concatenated
+// plane-major order.
+func NewWalker(spec WalkerSpec, p Params) (*Scenario, error) {
+	elems, err := orbit.WalkerShells(spec.Shells)
+	if err != nil {
+		return nil, err
+	}
+	if propagationHook != nil {
+		propagationHook(len(elems))
+	}
+	sats := make([]netsim.Node, len(elems))
+	ids := make([]string, len(elems))
+	for i, e := range elems {
+		e.ApplyJ2 = p.UseJ2
+		ids[i] = fmt.Sprintf("SAT-%04d", i+1)
+		sats[i] = netsim.NewSatelliteNode(ids[i], e)
+	}
+	lans := spec.Ground
+	if lans == nil {
+		lans = GroundNetworks()
+	}
+	sc, err := assembleWith(SpaceGround, p, lans, sats)
+	if err != nil {
+		return nil, err
+	}
+	if spec.ISLGrid {
+		sc.islAdj = walkerGridAdjacency(spec.Shells, ids)
+	}
+	sc.warm()
+	return sc, nil
+}
+
+// walkerGridAdjacency builds the symmetric +grid ISL allowlist over the
+// concatenated shells: intra-plane ring neighbors plus the same slot of the
+// two adjacent planes, no cross-shell links. Neighbor lists are sorted by
+// node index (= lexicographic for the fixed-width IDs).
+func walkerGridAdjacency(shells []orbit.WalkerShell, ids []string) map[string][]string {
+	adj := make(map[string][]string, len(ids))
+	base := 0
+	for _, sh := range shells {
+		perPlane := sh.TotalSats / sh.Planes
+		for p := 0; p < sh.Planes; p++ {
+			for s := 0; s < perPlane; s++ {
+				i := base + p*perPlane + s
+				var nbrs []int
+				add := func(j int) {
+					if j == i {
+						return
+					}
+					for _, k := range nbrs {
+						if k == j {
+							return
+						}
+					}
+					nbrs = append(nbrs, j)
+				}
+				add(base + p*perPlane + (s+1)%perPlane)
+				add(base + p*perPlane + (s-1+perPlane)%perPlane)
+				add(base + ((p+1)%sh.Planes)*perPlane + s)
+				add(base + ((p-1+sh.Planes)%sh.Planes)*perPlane + s)
+				sort.Ints(nbrs)
+				out := make([]string, len(nbrs))
+				for k, j := range nbrs {
+					out[k] = ids[j]
+				}
+				adj[ids[i]] = out
+			}
+		}
+		base += sh.TotalSats
+	}
+	return adj
+}
+
+// islAllowedID reports whether the grid topology permits an ISL between the
+// two satellite IDs. Lists are symmetric, so one side suffices.
+func (sc *Scenario) islAllowedID(aID, bID string) bool {
+	for _, id := range sc.islAdj[aID] {
+		if id == bID {
+			return true
+		}
+	}
+	return false
+}
+
 // NewCustomScenario assembles a scenario over an arbitrary set of local
 // networks and relay nodes — the extension point for studies beyond the
 // paper's three-LAN region (see ExtendedNetworks and the statewide
@@ -165,11 +275,31 @@ func NewCustomScenario(arch Architecture, p Params, lans []LocalNetwork, relays 
 		}
 		seen[lan.Name] = true
 	}
-	return assembleWith(arch, p, lans, relays)
+	sc, err := assembleWith(arch, p, lans, relays)
+	if err != nil {
+		return nil, err
+	}
+	sc.warm()
+	return sc, nil
 }
 
 func assemble(arch Architecture, p Params, relays []netsim.Node) (*Scenario, error) {
-	return assembleWith(arch, p, GroundNetworks(), relays)
+	sc, err := assembleWith(arch, p, GroundNetworks(), relays)
+	if err != nil {
+		return nil, err
+	}
+	sc.warm()
+	return sc, nil
+}
+
+// warm initializes the pooled step evaluator — per-node caches, spatial-grid
+// geometry, one priming candidate build — as part of scenario construction,
+// so the first snapshot runs at allocation-free steady state. Every public
+// constructor calls it as its last step, after any post-assembly topology
+// (the Walker ISL allowlist) is in place, since the evaluator's static
+// caches are keyed on the node set alone.
+func (sc *Scenario) warm() {
+	sc.Net.BeginStep(0).Close()
 }
 
 func assembleWith(arch Architecture, p Params, lans []LocalNetwork, relays []netsim.Node) (*Scenario, error) {
@@ -325,6 +455,9 @@ func (sc *Scenario) groundSpaceLink(ground, relay netsim.Node, t time.Duration, 
 // atmosphere) and the transmissivity threshold; no elevation mask applies
 // between spaceborne terminals.
 func (sc *Scenario) interSatelliteLink(a, b netsim.Node, t time.Duration) (float64, bool) {
+	if sc.islAdj != nil && !sc.islAllowedID(a.ID(), b.ID()) {
+		return 0, false
+	}
 	pa, pb := a.PositionAt(t), b.PositionAt(t)
 	if !geo.LineOfSight(pa, pb, sc.islClearance) {
 		return 0, false

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"qntn/internal/fault"
 	"qntn/internal/routing"
 )
 
@@ -124,6 +125,69 @@ func TestSnapshotFastPathMatchesReferenceHybrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertStepEquivalence(t, sc, 100, 9*time.Minute)
+}
+
+// TestSnapshotIndexMatchesDense compares the index-backed fast path against
+// the dense fast path (DisableSpatialIndex) graph by graph — node order,
+// edge set, and bit-exact transmissivities — across the scenarios where the
+// index is active, with and without a fault schedule, including the Walker
+// ISL-grid constellation over the multi-continent ground set.
+func TestSnapshotIndexMatchesDense(t *testing.T) {
+	builders := map[string]func(p Params) (*Scenario, error){
+		"space-ground-54-darkness": func(p Params) (*Scenario, error) {
+			p.RequireDarkness = true
+			return NewSpaceGround(54, p)
+		},
+		"space-ground-108": func(p Params) (*Scenario, error) { return NewSpaceGround(108, p) },
+		"walker-96-global": func(p Params) (*Scenario, error) { return NewWalker(walkerTestSpec(), p) },
+	}
+	for name, build := range builders {
+		for _, faults := range []bool{false, true} {
+			sub := name
+			if faults {
+				sub += "-faults"
+			}
+			t.Run(sub, func(t *testing.T) {
+				p := DefaultParams()
+				if faults {
+					p.Fault = fault.Config{
+						SatMTBF: 90 * time.Minute, SatMTTR: 15 * time.Minute,
+						GroundMTBF: 4 * time.Hour, GroundMTTR: 20 * time.Minute,
+						WeatherP: 0.25, WeatherAttenuation: 0.5, Seed: 5,
+					}
+				}
+				indexed, err := build(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pd := p
+				pd.DisableSpatialIndex = true
+				dense, err := build(pd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gi, gd := routing.NewGraph(), routing.NewGraph()
+				edges := 0
+				for s := 0; s < 30; s++ {
+					at := time.Duration(s) * 9 * time.Minute
+					if err := indexed.GraphInto(gi, at); err != nil {
+						t.Fatal(err)
+					}
+					if err := dense.GraphInto(gd, at); err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gi, gd) {
+						t.Fatalf("step %d (t=%v): indexed snapshot != dense snapshot\nidx:   %v\ndense: %v",
+							s, at, edgeMap(gi), edgeMap(gd))
+					}
+					edges += gi.NumEdges()
+				}
+				if edges == 0 {
+					t.Fatal("degenerate dense-vs-index run: no edges at any step")
+				}
+			})
+		}
+	}
 }
 
 // TestSnapshotReusedAcrossScenarios checks that one arena graph survives

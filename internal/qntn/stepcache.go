@@ -1,6 +1,7 @@
 package qntn
 
 import (
+	"math"
 	"time"
 
 	"qntn/internal/channel"
@@ -74,6 +75,27 @@ type stepEval struct {
 	dark  []bool      // ground hosts: IsDark (when RequireDarkness)
 	avail []bool      // HAPs: hapAvailable(t)
 
+	// Spatial index (geometry and static assignments valid while the node
+	// set is unchanged; see spatialindex.go). staticCell holds the cell of
+	// nodes fixed in ECEF (ground hosts, HAPs) so only movers re-bin per
+	// step; -1 marks a mover. fiberStart/fiberList are the CSR adjacency of
+	// same-network ground pairs (j > i), which are not FSO-range-gated and
+	// therefore bypass the grid. islNbr, when non-nil, restricts
+	// satellite↔satellite links to the scenario's ISL grid topology.
+	grid       pairGrid
+	staticCell []int32
+	fiberStart []int32
+	fiberList  []int32
+	islNbr     [][]int32
+
+	// Per-step candidate list, built lazily on the first CandidatePairs
+	// call so callers that evaluate targeted pairs (the sweep engine, the
+	// event-driven engine) never pay for it.
+	cand        []netsim.PackedPair
+	scratch     []int32
+	candBuilt   bool
+	indexCulled int64
+
 	// Per-step prefilter hit counts, drained via PairStats. Plain ints:
 	// an evaluator is single-goroutine between BeginStep and Close, and
 	// incrementing them is noise next to the geometry they sit beside.
@@ -82,11 +104,83 @@ type stepEval struct {
 }
 
 // PairStats implements netsim.PairStatser: the number of pairs this step
-// rejected by the horizon and squared-range prefilters.
+// rejected by the horizon and squared-range prefilters, plus the number the
+// spatial index culled from the candidate set before evaluation.
 //
 //qntn:hotpath
-func (se *stepEval) PairStats() (horizonRejects, rangeRejects int64) {
-	return se.horizonRejects, se.rangeRejects
+func (se *stepEval) PairStats() (horizonRejects, rangeRejects, indexCulled int64) {
+	return se.horizonRejects, se.rangeRejects, se.indexCulled
+}
+
+// CandidatePairs implements netsim.PairEnumerator: a sorted conservative
+// superset of the step's usable pairs, or ok=false when the node set is too
+// small, the index is disabled, or a range bound is unusable — callers then
+// fall back to the dense scan. The list is built lazily and cached for the
+// step.
+//
+//qntn:hotpath
+func (se *stepEval) CandidatePairs() ([]netsim.PackedPair, bool) {
+	if !se.grid.ok {
+		return nil, false
+	}
+	if !se.candBuilt {
+		se.buildCandidates()
+	}
+	return se.cand, true
+}
+
+// buildCandidates bins this step's node positions into the grid (static
+// nodes reuse their precomputed cells) and gathers, per node i, the sorted
+// candidate partners j > i: static fiber partners plus grid neighbors
+// within one cell. Ground↔ground grid hits are dropped — same-network pairs
+// came from the fiber list and cross-network pairs can never link — so the
+// gather is duplicate-free. Emitting per-i sorted runs yields a globally
+// ascending packed list, i.e. exact dense-loop order.
+//
+//qntn:hotpath
+func (se *stepEval) buildCandidates() {
+	se.candBuilt = true
+	n := len(se.nodes)
+	g := &se.grid
+	g.beginBuild(n)
+	for i := 0; i < n; i++ {
+		if c := se.staticCell[i]; c >= 0 {
+			g.cell[i] = c
+		} else {
+			g.cell[i] = g.cellIndex(se.pos[i])
+		}
+	}
+	g.finishBuild(n)
+	se.cand = se.cand[:0]
+	for i := 0; i < n; i++ {
+		s := se.scratch[:0]
+		for _, j := range se.fiberList[se.fiberStart[i]:se.fiberStart[i+1]] {
+			//qntn:coldpath amortized growth: scratch capacity is stable
+			s = append(s, j)
+		}
+		nf := len(s)
+		s = g.neighborsAfter(int32(i), s)
+		if se.kind[i] == netsim.Ground {
+			// Drop ground↔ground grid hits: they landed after the fiber
+			// prefix, which already holds the only linkable ones.
+			w := nf
+			for _, j := range s[nf:] {
+				if se.kind[j] == netsim.Ground {
+					continue
+				}
+				s[w] = j
+				w++
+			}
+			s = s[:w]
+		}
+		insertionSortI32(s)
+		for _, j := range s {
+			//qntn:coldpath amortized growth: candidate capacity is stable
+			se.cand = append(se.cand, netsim.PackPair(i, int(j)))
+		}
+		se.scratch = s
+	}
+	se.indexCulled = int64(n)*int64(n-1)/2 - int64(len(se.cand))
 }
 
 // sameNodes reports whether the evaluator's static caches were built for
@@ -143,6 +237,111 @@ func (se *stepEval) init(nodes []netsim.Node) {
 			se.gPos[i] = node.PositionAt(0)
 		}
 	}
+	se.initSpatial(nodes)
+}
+
+// initSpatial rebuilds the static spatial-index state for a new node set:
+// grid geometry, fixed cell assignments, the fiber adjacency, and the ISL
+// allowlist. Cold path — runs only when the node set changes.
+func (se *stepEval) initSpatial(nodes []netsim.Node) {
+	n := len(nodes)
+	sc := se.sc
+	se.islNbr = nil
+	if sc.islAdj != nil {
+		se.islNbr = growZero(se.islNbr, n)
+		byID := make(map[string]int, n)
+		for i, node := range nodes {
+			byID[node.ID()] = i
+		}
+		for i, node := range nodes {
+			ids := sc.islAdj[node.ID()]
+			nbr := se.islNbr[i][:0]
+			for _, id := range ids {
+				if j, ok := byID[id]; ok {
+					nbr = append(nbr, int32(j))
+				}
+			}
+			se.islNbr[i] = nbr
+		}
+	}
+	se.grid.ok = false
+	se.candBuilt = false
+	if n < spatialIndexMinNodes || sc.Params.DisableSpatialIndex {
+		return
+	}
+	// All FSO range bounds must be finite and positive: an infinite bound
+	// (threshold ≤ 0 or a degenerate beam) means distance never gates a
+	// link and only the dense scan is safe.
+	maxGate := sc.spaceMaxRangeM2
+	if sc.hapMaxRangeM2 > maxGate {
+		maxGate = sc.hapMaxRangeM2
+	}
+	if sc.satHAPMaxRangeM2 > maxGate {
+		maxGate = sc.satHAPMaxRangeM2
+	}
+	if !(maxGate > 0) || math.IsInf(maxGate, 1) {
+		return
+	}
+	maxNorm := 0.0
+	for _, node := range nodes {
+		if nm := node.PositionAt(0).Norm(); nm > maxNorm {
+			maxNorm = nm
+		}
+	}
+	se.grid.configure(math.Sqrt(maxGate), maxNorm)
+	se.staticCell = grow(se.staticCell, n)
+	for i, node := range nodes {
+		se.staticCell[i] = -1
+		if se.kind[i] == netsim.Ground {
+			se.staticCell[i] = se.grid.cellIndex(se.gPos[i])
+		} else if _, hap := node.(*netsim.HAPNode); hap {
+			se.staticCell[i] = se.grid.cellIndex(node.PositionAt(0))
+		}
+	}
+	se.fiberStart = grow(se.fiberStart, n+1)
+	se.fiberList = se.fiberList[:0]
+	for i := 0; i < n; i++ {
+		se.fiberStart[i] = int32(len(se.fiberList))
+		if se.kind[i] != netsim.Ground || se.network[i] == "" {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if se.kind[j] == netsim.Ground && se.network[j] == se.network[i] {
+				se.fiberList = append(se.fiberList, int32(j))
+			}
+		}
+	}
+	se.fiberStart[n] = int32(len(se.fiberList))
+
+	// Prime the per-step arrays with one candidate build at t=0, so the
+	// first real snapshot runs at steady state: grid buckets, gather
+	// scratch, and the candidate list all reach working capacity here, on
+	// the cold path, instead of allocating inside the first hot step. A
+	// little headroom on the variable-length arrays absorbs instants with
+	// slightly larger candidate sets than t=0.
+	for i, node := range nodes {
+		if se.staticCell[i] < 0 {
+			se.pos[i] = node.PositionAt(0)
+		}
+	}
+	se.buildCandidates()
+	if c := 3 * len(se.cand) / 2; cap(se.cand) < c {
+		se.cand = make([]netsim.PackedPair, 0, c)
+	}
+	se.candBuilt = false
+	se.indexCulled = 0
+}
+
+// growZero is grow for slice-of-slice scratch: reused entries keep their
+// backing arrays, new entries start nil.
+func growZero(s [][]int32, n int) [][]int32 {
+	if cap(s) >= n {
+		s = s[:n]
+		return s
+	}
+	out := make([][]int32, n)
+	copy(out, s)
+	return out
 }
 
 // reset recomputes the per-step caches for instant t: one position, norm,
@@ -154,6 +353,8 @@ func (se *stepEval) reset(t time.Duration) {
 	se.t = t
 	se.horizonRejects = 0
 	se.rangeRejects = 0
+	se.indexCulled = 0
+	se.candBuilt = false
 	sc := se.sc
 	requireDark := sc.Params.RequireDarkness
 	var twilightRad float64
@@ -187,6 +388,8 @@ func (se *stepEval) setInstant(t time.Duration) {
 	se.t = t
 	se.horizonRejects = 0
 	se.rangeRejects = 0
+	se.indexCulled = 0
+	se.candBuilt = false
 }
 
 // refreshNode recomputes the per-step cache entries of node i at the
@@ -309,11 +512,16 @@ func (se *stepEval) groundRelayPair(a, b int, cfg *channel.FSOConfig, maxRangeM2
 
 // islPair mirrors Scenario.interSatelliteLink on cached geometry, with the
 // squared-range gate applied before the line-of-sight test (at the paper's
-// threshold the gate rejects the large majority of satellite pairs).
+// threshold the gate rejects the large majority of satellite pairs). When
+// the scenario restricts ISLs to a grid topology, non-neighbors are
+// rejected first.
 //
 //qntn:hotpath
 func (se *stepEval) islPair(a, b int) (float64, bool) {
 	sc := se.sc
+	if se.islNbr != nil && !se.islAllowed(a, b) {
+		return 0, false
+	}
 	pa, pb := se.pos[a], se.pos[b]
 	d := pb.Sub(pa)
 	if d.Dot(d) > sc.spaceMaxRangeM2 {
@@ -337,6 +545,20 @@ func (se *stepEval) islPair(a, b int) (float64, bool) {
 		return 0, false
 	}
 	return eta, true
+}
+
+// islAllowed reports whether the grid topology permits an ISL between a and
+// b. Neighbor lists are symmetric and at most a handful of entries, so a
+// linear scan from a's side suffices.
+//
+//qntn:hotpath
+func (se *stepEval) islAllowed(a, b int) bool {
+	for _, j := range se.islNbr[a] {
+		if int(j) == b {
+			return true
+		}
+	}
+	return false
 }
 
 // satHAPPair mirrors Scenario.satelliteHAPLink on cached geometry, with the

@@ -92,6 +92,7 @@ func (sc *Scenario) recordStepEvent(label string, step int, at time.Duration, st
 		LinksAdmitted:  int64(st.Admitted),
 		HorizonRejects: st.HorizonRejects,
 		RangeRejects:   st.RangeRejects,
+		IndexCulled:    st.IndexCulled,
 		NodesDown:      int64(st.NodesDown),
 		Weather:        st.Weather,
 	}

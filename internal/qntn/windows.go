@@ -186,6 +186,17 @@ type windowScan struct {
 	aRate float64
 	aPos  [][3]geo.Vec3
 	aHave []bool
+
+	// Mover-pair spatial sweep state (see sweepMoverPairs): a strided pass
+	// over the grid binning movers into sweepGrid and marking, in pairMark,
+	// every mover-ordinal pair that ever comes within the inflated range
+	// shell. Unmarked pairs of speed-bounded movers are provably windowless
+	// and scanMovingMoving skips them. wild marks movers without a usable
+	// speed bound, whose pairs are always scanned.
+	sweepGrid    pairGrid
+	pairMark     []uint64
+	wild         []bool
+	sweepScratch []int32
 }
 
 // analyticSamples returns moving node i's positions at the three analytic
@@ -444,13 +455,128 @@ func (ws *windowScan) scanMovingStatic() {
 
 // scanMovingMoving windows the relay↔relay pairs: analytically for circular
 // same-altitude two-body satellite pairs (the paper's constellations),
-// otherwise by a pairwise Lipschitz walk.
+// otherwise by a pairwise Lipschitz walk. At constellation scale the spatial
+// sweep first marks the pairs that ever come near range; unmarked pairs of
+// speed-bounded movers are provably windowless and are skipped, which turns
+// the quadratic per-pair scan into work near-linear in visible pairs.
 func (ws *windowScan) scanMovingMoving() {
+	swept := ws.sweepMoverPairs()
 	for a := 0; a < len(ws.movers); a++ {
 		for b := a + 1; b < len(ws.movers); b++ {
+			if swept && !ws.wild[a] && !ws.wild[b] && !ws.pairMarked(a, b) {
+				continue
+			}
 			ws.scanMovingPair(ws.movers[a], ws.movers[b])
 		}
 	}
+}
+
+// moverSweepMinMovers is the mover count below which scanMovingMoving keeps
+// the plain quadratic loop — the sweep's setup costs more than it saves.
+// Package variable so tests can force the sweep on small scenarios.
+var moverSweepMinMovers = 24
+
+// sweepMoverPairs runs the strided spatial sweep and reports whether the
+// pairMark bitmap is valid.
+//
+// Correctness: suppose a speed-bounded mover pair produces a run. Then some
+// instant t* ∈ [−padS, durS+padS] (seconds) has pair distance within
+// sqrt(gate+eps) — pairwiseRuns observes a grid instant with d² ≤ gate, and
+// an analyticRuns run exists only when a sub-(gate+eps) arc of the
+// continuous distance intersects the padded horizon, with padS = gapS/8+1e-6
+// matching analyticRuns' pad and eps ≤ 4e-9·a² its fit slack. The sweep
+// samples every stride-th grid instant, so some sampled t0 has
+// |t*−t0| ≤ stride·gapS + padS, during which each endpoint moves at most
+// vmax·|t*−t0|. The pair's sampled distance is therefore at most
+//
+//	sqrt(gate) + sqrt(eps) + 2·vmax·(stride·gapS + padS) < reach,
+//
+// and sweepGrid's cell edge is at least reach, so the pair differs by at
+// most one cell per axis at t0 and neighborsAfter marks it. Contrapositive:
+// unmarked speed-bounded pairs have no run, and skipping them leaves the
+// window set — and hence every event-driven result — identical.
+func (ws *windowScan) sweepMoverPairs() bool {
+	m := len(ws.movers)
+	if m < moverSweepMinMovers || ws.sc.Params.DisableSpatialIndex || ws.grid.steps == 0 {
+		return false
+	}
+	ws.wild = grow(ws.wild, m)
+	sats, haps := 0, 0
+	vmax, maxNorm := 0.0, 0.0
+	for s, i := range ws.movers {
+		switch ws.nodes[i].Kind() {
+		case netsim.Satellite:
+			sats++
+		case netsim.HAP:
+			haps++
+		}
+		wild := true
+		if elems, ok := nodeElements(ws.nodes[i]); ok {
+			if v := elems.MaxSpeedMPerS(); v > 0 {
+				wild = false
+				if v > vmax {
+					vmax = v
+				}
+			}
+		}
+		ws.wild[s] = wild
+		if nm := ws.nodes[i].PositionAt(0).Norm(); nm > maxNorm {
+			maxNorm = nm
+		}
+	}
+	// The widest gate any mover pair can use; a non-finite applicable gate
+	// means distance never proves a pair windowless.
+	maxGate := 0.0
+	if sats >= 2 {
+		maxGate = ws.sc.spaceMaxRangeM2
+	}
+	if haps >= 1 && sats >= 1 && ws.sc.satHAPMaxRangeM2 > maxGate {
+		maxGate = ws.sc.satHAPMaxRangeM2
+	}
+	gapS := ws.grid.gap.Seconds()
+	if !(maxGate > 0) || math.IsInf(maxGate, 1) || vmax <= 0 || gapS <= 0 {
+		return false
+	}
+	padS := gapS/8 + 1e-6
+	stride := int(math.Sqrt(maxGate) / (2 * vmax * gapS))
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > 64 {
+		stride = 64
+	}
+	// 7e-5·maxNorm dominates sqrt(eps) = sqrt(4e-9)·a for every circular
+	// pair (a ≤ maxNorm); the relative factor and +1 m absorb float
+	// rounding against the exact gates.
+	reach := math.Sqrt(maxGate)*(1+1e-6) + 7e-5*maxNorm + 2*vmax*(float64(stride)*gapS+padS) + 1.0
+	g := &ws.sweepGrid
+	g.configure(reach, maxNorm)
+	words := (m*m + 63) / 64
+	ws.pairMark = grow(ws.pairMark, words)
+	clear(ws.pairMark)
+	g.beginBuild(m)
+	for k := 0; k < ws.grid.steps; k += stride {
+		for s, i := range ws.movers {
+			g.cell[s] = g.cellIndex(ws.posAt(i, k))
+		}
+		g.finishBuild(m)
+		for a := 0; a < m; a++ {
+			nbrs := g.neighborsAfter(int32(a), ws.sweepScratch[:0])
+			for _, b := range nbrs {
+				id := a*m + int(b)
+				ws.pairMark[id>>6] |= 1 << (id & 63)
+			}
+			ws.sweepScratch = nbrs
+		}
+	}
+	return true
+}
+
+// pairMarked reports whether mover-ordinal pair (a, b), a < b, was marked by
+// the sweep.
+func (ws *windowScan) pairMarked(a, b int) bool {
+	id := a*len(ws.movers) + b
+	return ws.pairMark[id>>6]&(1<<(id&63)) != 0
 }
 
 // analyticCircularPair reports whether the pair's squared distance is the
@@ -467,6 +593,9 @@ func (ws *windowScan) scanMovingPair(i, j int) {
 	var gate float64
 	switch {
 	case ki == netsim.Satellite && kj == netsim.Satellite:
+		if ws.sc.islAdj != nil && !ws.sc.islAllowedID(ws.nodes[i].ID(), ws.nodes[j].ID()) {
+			return // the ISL grid topology forbids this pair outright
+		}
 		gate = ws.sc.spaceMaxRangeM2 * (1 + candGateSlack)
 	case (ki == netsim.Satellite && kj == netsim.HAP) || (ki == netsim.HAP && kj == netsim.Satellite):
 		gate = ws.sc.satHAPMaxRangeM2 * (1 + candGateSlack)

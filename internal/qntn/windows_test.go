@@ -3,6 +3,7 @@ package qntn
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -449,5 +450,54 @@ func TestWindowClippingAtScenarioBounds(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("no windows on the one-step grid (expected at least the ISL pairs in range at t=0)")
+	}
+}
+
+// TestMoverSweepMatchesDenseWindows forces the coarse mover-pair sweep on
+// at a small constellation (by lowering its mover-count floor) and requires
+// the resulting window sets — down to refined endpoint times — to be
+// DeepEqual to a dense scan with the sweep and index disabled. The sweep
+// may only skip pairs that provably never enter range, so window sets must
+// be identical.
+func TestMoverSweepMatchesDenseWindows(t *testing.T) {
+	defer func(old int) { moverSweepMinMovers = old }(moverSweepMinMovers)
+	moverSweepMinMovers = 2
+
+	builders := map[string]func(p Params) (*Scenario, error){
+		"space-ground-24": func(p Params) (*Scenario, error) { return NewSpaceGround(24, p) },
+		"hybrid-12":       func(p Params) (*Scenario, error) { return NewHybrid(12, p) },
+		"walker-96-global": func(p Params) (*Scenario, error) {
+			return NewWalker(walkerTestSpec(), p)
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			p := DefaultParams()
+			swept, err := build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd := p
+			pd.DisableSpatialIndex = true
+			dense, err := build(pd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			duration := 3 * time.Hour
+			got, err := swept.VisibilityWindows(duration)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dense.VisibilityWindows(duration)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("swept window set diverged from dense scan\n got %d pairs\nwant %d pairs", len(got), len(want))
+			}
+			if len(want) == 0 {
+				t.Fatal("degenerate sweep run: no pair windows")
+			}
+		})
 	}
 }

@@ -27,6 +27,7 @@ type Event struct {
 	LinksAdmitted  int64   `json:"links_admitted"`
 	HorizonRejects int64   `json:"horizon_rejects"`
 	RangeRejects   int64   `json:"range_rejects"`
+	IndexCulled    int64   `json:"index_culled,omitempty"`
 	RelaxRounds    int64   `json:"relax_rounds,omitempty"`
 	NodesDown      int64   `json:"nodes_down,omitempty"`
 	Weather        bool    `json:"weather,omitempty"`
@@ -65,6 +66,7 @@ func (e Event) Validate() error {
 		{"links_admitted", e.LinksAdmitted},
 		{"horizon_rejects", e.HorizonRejects},
 		{"range_rejects", e.RangeRejects},
+		{"index_culled", e.IndexCulled},
 		{"relax_rounds", e.RelaxRounds},
 		{"nodes_down", e.NodesDown},
 		{"served", e.Served},
