@@ -13,6 +13,9 @@
 //	                             # placement, turbulence, orbit design
 //	qntnsim latency|purify|qkd|night|statewide|outage|degrade|
 //	        multipath|throughput|arrivals  # extension studies (see DESIGN.md)
+//	qntnsim serve-daemon [-addr 127.0.0.1:9641]  # persistent traffic-engine
+//	                             # HTTP daemon (see DESIGN.md "Traffic
+//	                             # engine & serve daemon")
 //	qntnsim params               # dump the default parameter file
 //	qntnsim all
 //
@@ -81,6 +84,7 @@ type options struct {
 	islGrid        bool
 	ground         string
 	noSpatialIndex bool
+	addr           string
 }
 
 // applyFaults overlays the fault flags onto the parameter set (after any
@@ -160,8 +164,9 @@ func run(args []string, w io.Writer) (err error) {
 	fs.BoolVar(&opt.islGrid, "isl-grid", false, "walker subcommand: restrict inter-satellite links to the +grid topology (intra-plane ring + adjacent planes)")
 	fs.StringVar(&opt.ground, "ground", "paper", "walker subcommand: ground set, paper (Table I Tennessee LANs) or global (plus five metro LANs on other continents)")
 	fs.BoolVar(&opt.noSpatialIndex, "no-spatial-index", false, "force dense n² candidate generation instead of the spatial index (results are identical; differential-testing escape hatch)")
+	fs.StringVar(&opt.addr, "addr", "127.0.0.1:9641", "serve-daemon subcommand: HTTP listen address")
 	fs.Usage = func() {
-		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|walker|params|all")
+		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|serve-daemon|walker|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -294,6 +299,8 @@ func run(args []string, w io.Writer) (err error) {
 			return runThroughput(w, params, serveCfg)
 		case "arrivals":
 			return runArrivals(w, params, opt.duration, opt.seed)
+		case "serve-daemon":
+			return runServeDaemon(w, params, opt.addr)
 		case "walker":
 			return runWalker(w, params, opt)
 		case "all":

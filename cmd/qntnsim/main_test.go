@@ -471,3 +471,25 @@ func TestRunParallelFlagRejected(t *testing.T) {
 		t.Fatal("non-numeric -parallel accepted")
 	}
 }
+
+// TestServeDaemonBadAddr exercises the serve-daemon wiring up to the
+// listener: an unparseable address must fail fast instead of hanging the
+// command waiting for signals.
+func TestServeDaemonBadAddr(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:notaport", "serve-daemon"}, &b); err == nil {
+		t.Fatal("unusable -addr accepted")
+	}
+}
+
+// TestUsageMentionsServeDaemon keeps the usage line in sync with the
+// subcommand table.
+func TestUsageMentionsServeDaemon(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if !strings.Contains(b.String(), "serve-daemon") {
+		t.Fatalf("usage does not mention serve-daemon:\n%s", b.String())
+	}
+}

@@ -60,7 +60,10 @@ func AblationRoutingMetricParallel(p qntn.Params, nSats int, cfg qntn.ServeConfi
 	out := make([]RoutingMetricResult, len(metrics))
 	err = runner.Map(context.Background(), len(metrics), workers, func(_ context.Context, mi int) error {
 		m := metrics[mi]
-		wl := qntn.NewWorkload(sc, cfg.Seed)
+		wl, err := qntn.NewWorkload(sc, cfg.Seed)
+		if err != nil {
+			return err
+		}
 		var fids, etas, hops []float64
 		attempted, served := 0, 0
 		for step := 0; step < cfg.Steps; step++ {

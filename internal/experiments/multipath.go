@@ -50,7 +50,10 @@ func ExtensionMultipathStudyParallel(p qntn.Params, nSats int, cfg qntn.ServeCon
 	}
 	stepGap := cfg.Horizon / time.Duration(cfg.Steps)
 
-	wl := qntn.NewWorkload(sc, cfg.Seed)
+	wl, err := qntn.NewWorkload(sc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	batches := make([][]netsim.Request, cfg.Steps)
 	for step := range batches {
 		batches[step] = wl.Batch(cfg.RequestsPerStep)

@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"hash/fnv"
 	"math/rand"
 	"sort"
 	"time"
@@ -75,11 +74,10 @@ func NewSchedule(cfg Config, nodes []netsim.Node) (*Schedule, error) {
 }
 
 // streamKey hashes an identifier into the task index of the per-platform
-// seed stream.
+// seed stream. runner.FNV64a is bit-for-bit hash/fnv's 64-bit FNV-1a, so
+// schedules sampled before the switch replay identically.
 func streamKey(id string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return h.Sum64()
+	return runner.FNV64a(id)
 }
 
 // alternatingRenewal samples [down] intervals of an alternating renewal

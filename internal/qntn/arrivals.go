@@ -35,9 +35,16 @@ type ArrivalResult struct {
 	// within the horizon; the rest are censored in queue.
 	Arrivals int
 	Served   int
-	// ServedImmediately counts requests whose pair was bridged on
-	// arrival.
+	// ServedImmediately counts requests delivered by the arrival handler
+	// itself — the pair was bridged the moment the request arrived. The
+	// classification is by serve site, not by zero wait: a queued request
+	// drained at the exact instant it arrived also has zero wait but did
+	// pass through the queue.
 	ServedImmediately int
+	// RequestsEvaluated counts admission attempts: one per arrival plus
+	// one per queued request per drain — the unit the serve daemon's
+	// throughput gauge reports.
+	RequestsEvaluated int
 	// Wait statistics over served requests.
 	MeanWait time.Duration
 	MaxWait  time.Duration
@@ -65,11 +72,140 @@ type queuedRequest struct {
 	arrived time.Duration
 }
 
-// RunArrivals executes the arrival-driven experiment on the discrete-event
-// simulator: Poisson arrivals interleave with the 30-second topology
-// updates; each arrival is served against the most recent topology or
-// queued, and every topology update drains the queue of newly reachable
-// requests. All randomness is seeded; runs are reproducible.
+// admission is the batched request-scheduling core shared by RunArrivals
+// and RunTraffic: one pooled graph rebuilt in place at each topology
+// instant (the GraphInto/SnapshotInto fast path, spatial index included),
+// a single-source Dijkstra memo valid until the next rebuild, and the FIFO
+// wait queue with its drain loop. Batching admission per topology update
+// keeps the per-step cost amortized: the graph storage, the memo map and
+// the queue backing array are all reused across the run.
+type admission struct {
+	sc    *Scenario
+	graph *routing.Graph
+	memo  map[string]*routing.SingleSourceResult
+	queue []queuedRequest
+
+	served    int
+	immediate int
+	evaluated int // admission attempts: arrivals plus drain retries
+	maxQueue  int
+	maxWait   time.Duration
+	waits     []float64 // seconds, in serve order
+	fids      []float64 // fidelity at serve time, in serve order
+	fidSum    float64
+}
+
+func newAdmission(sc *Scenario) *admission {
+	return &admission{
+		sc:    sc,
+		graph: routing.NewGraph(),
+		memo:  make(map[string]*routing.SingleSourceResult),
+	}
+}
+
+// refresh rebuilds the topology at t into the pooled graph and invalidates
+// the routing memo. A non-nil st routes the rebuild through
+// SnapshotIntoStats so instrumented runs get per-step evaluator counters.
+func (ad *admission) refresh(t time.Duration, st *netsim.SnapshotStats) error {
+	if st != nil {
+		if err := ad.sc.Net.SnapshotIntoStats(ad.graph, t, st); err != nil {
+			return err
+		}
+	} else if err := ad.sc.GraphInto(ad.graph, t); err != nil {
+		return err
+	}
+	clear(ad.memo)
+	return nil
+}
+
+// tryServe attempts to deliver q against the current topology. onArrival
+// marks the serve site — true from the arrival handler, false from the
+// drain loop — which is what the immediate classification reports.
+func (ad *admission) tryServe(now time.Duration, q queuedRequest, onArrival bool) (bool, error) {
+	ad.evaluated++
+	sp, ok := ad.memo[q.req.Src]
+	if !ok {
+		var err error
+		sp, err = routing.Dijkstra(ad.graph, q.req.Src, routing.InverseEtaCost(ad.sc.Params.RoutingEpsilon))
+		if err != nil {
+			return false, err
+		}
+		ad.memo[q.req.Src] = sp
+	}
+	if math.IsInf(sp.Dist[q.req.Dst], 1) {
+		return false, nil
+	}
+	path, err := sp.PathTo(q.req.Dst)
+	if err != nil {
+		return false, err
+	}
+	etas, err := ad.graph.EdgeEtas(path)
+	if err != nil {
+		return false, err
+	}
+	wait := now - q.arrived
+	ad.served++
+	if onArrival {
+		ad.immediate++
+	}
+	ad.waits = append(ad.waits, wait.Seconds())
+	if wait > ad.maxWait {
+		ad.maxWait = wait
+	}
+	f := PathFidelity(etas, ad.sc.Params.FidelityModel)
+	ad.fids = append(ad.fids, f)
+	ad.fidSum += f
+	return true, nil
+}
+
+// arrive admits one new request: served on the spot or appended to the
+// wait queue.
+func (ad *admission) arrive(now time.Duration, req netsim.Request) error {
+	q := queuedRequest{req: req, arrived: now}
+	ok, err := ad.tryServe(now, q, true)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		ad.queue = append(ad.queue, q)
+		if len(ad.queue) > ad.maxQueue {
+			ad.maxQueue = len(ad.queue)
+		}
+	}
+	return nil
+}
+
+// drain retries every queued request against the refreshed topology,
+// keeping the still-unroutable ones in FIFO order, and returns the number
+// served.
+func (ad *admission) drain(now time.Duration) (int, error) {
+	before := ad.served
+	remaining := ad.queue[:0]
+	for _, q := range ad.queue {
+		ok, err := ad.tryServe(now, q, false)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			remaining = append(remaining, q)
+		}
+	}
+	ad.queue = remaining
+	return ad.served - before, nil
+}
+
+// RunArrivals executes the arrival-driven experiment: Poisson arrivals
+// interleave with the periodic topology updates; each arrival is served
+// against the most recent topology or queued, and every topology update
+// drains the queue of newly reachable requests. All randomness is seeded;
+// runs are reproducible.
+//
+// The loop is a deterministic two-stream merge over the pooled-snapshot
+// fast path. It replays the retired event-heap implementation exactly —
+// same arrival draws, same update instants (0, step, … ≤ Horizon), and at
+// a time tie the update runs first, the heap's FIFO order when every
+// update was enqueued before any arrival — so results are byte-identical
+// to the reference (see the differential test in arrivals_ref_test.go).
 func (sc *Scenario) RunArrivals(cfg ArrivalConfig) (*ArrivalResult, error) {
 	if cfg.RatePerHour <= 0 {
 		return nil, fmt.Errorf("qntn: arrival rate must be positive")
@@ -79,125 +215,52 @@ func (sc *Scenario) RunArrivals(cfg ArrivalConfig) (*ArrivalResult, error) {
 	}
 	res := &ArrivalResult{Config: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	wl := NewWorkload(sc, cfg.Seed+1)
-
-	sim := netsim.NewSimulator()
-	var simErr error
-
-	// Topology state, refreshed by update events.
-	var graph *routing.Graph
-	var dijkstraMemo map[string]*routing.SingleSourceResult
-	var queue []queuedRequest
-	var waits, fids []float64
-
-	refreshTopology := func(s *netsim.Simulator) bool {
-		g, err := sc.Graph(s.Now())
-		if err != nil {
-			simErr = err
-			s.Stop()
-			return false
-		}
-		graph = g
-		dijkstraMemo = make(map[string]*routing.SingleSourceResult)
-		return true
-	}
-
-	// tryServe attempts to deliver req against the current topology.
-	tryServe := func(now time.Duration, q queuedRequest) (bool, error) {
-		src := q.req.Src
-		sp, ok := dijkstraMemo[src]
-		if !ok {
-			var err error
-			sp, err = routing.Dijkstra(graph, src, routing.InverseEtaCost(sc.Params.RoutingEpsilon))
-			if err != nil {
-				return false, err
-			}
-			dijkstraMemo[src] = sp
-		}
-		if math.IsInf(sp.Dist[q.req.Dst], 1) {
-			return false, nil
-		}
-		path, err := sp.PathTo(q.req.Dst)
-		if err != nil {
-			return false, err
-		}
-		etas, err := graph.EdgeEtas(path)
-		if err != nil {
-			return false, err
-		}
-		wait := now - q.arrived
-		res.Served++
-		if wait == 0 {
-			res.ServedImmediately++
-		}
-		waits = append(waits, wait.Seconds())
-		if wait > res.MaxWait {
-			res.MaxWait = wait
-		}
-		fids = append(fids, PathFidelity(etas, sc.Params.FidelityModel))
-		return true, nil
-	}
-
-	// Topology updates drain the queue.
-	step := sc.Params.StepInterval
-	if err := sim.ScheduleEvery(0, step, cfg.Horizon, "topology-update", func(s *netsim.Simulator) {
-		if !refreshTopology(s) {
-			return
-		}
-		remaining := queue[:0]
-		for _, q := range queue {
-			ok, err := tryServe(s.Now(), q)
-			if err != nil {
-				simErr = err
-				s.Stop()
-				return
-			}
-			if !ok {
-				remaining = append(remaining, q)
-			}
-		}
-		queue = remaining
-	}); err != nil {
+	wl, err := NewWorkload(sc, cfg.Seed+1)
+	if err != nil {
 		return nil, err
 	}
 
-	// Poisson arrivals: pre-draw the arrival times (exponential
-	// interarrivals) and schedule them.
+	// Poisson arrival instants: exponential interarrivals, drawn in the
+	// exact order the event-heap implementation drew them.
 	meanGapS := 3600 / cfg.RatePerHour
+	var arrivals []time.Duration
 	for at := time.Duration(0); ; {
-		gap := time.Duration(rng.ExpFloat64() * meanGapS * float64(time.Second))
-		at += gap
+		at += time.Duration(rng.ExpFloat64() * meanGapS * float64(time.Second))
 		if at >= cfg.Horizon {
 			break
 		}
-		if err := sim.Schedule(at, "arrival", func(s *netsim.Simulator) {
-			res.Arrivals++
-			q := queuedRequest{req: wl.Next(), arrived: s.Now()}
-			ok, err := tryServe(s.Now(), q)
-			if err != nil {
-				simErr = err
-				s.Stop()
-				return
-			}
-			if !ok {
-				queue = append(queue, q)
-				if len(queue) > res.MaxQueueDepth {
-					res.MaxQueueDepth = len(queue)
-				}
-			}
-		}); err != nil {
-			return nil, err
-		}
+		arrivals = append(arrivals, at)
 	}
 
-	if err := sim.Run(cfg.Horizon); err != nil {
-		return nil, err
+	ad := newAdmission(sc)
+	step := sc.Params.TopologyStep()
+	next := time.Duration(0) // next topology-update instant
+	i := 0
+	for next <= cfg.Horizon || i < len(arrivals) {
+		if next <= cfg.Horizon && (i >= len(arrivals) || next <= arrivals[i]) {
+			if err := ad.refresh(next, nil); err != nil {
+				return nil, err
+			}
+			if _, err := ad.drain(next); err != nil {
+				return nil, err
+			}
+			next += step
+		} else {
+			res.Arrivals++
+			if err := ad.arrive(arrivals[i], wl.Next()); err != nil {
+				return nil, err
+			}
+			i++
+		}
+		res.EventsProcessed++
 	}
-	if simErr != nil {
-		return nil, simErr
-	}
-	res.MeanWait = secs(stats.Mean(waits))
-	res.MeanFidelity = stats.Mean(fids)
-	res.EventsProcessed = sim.Processed
+
+	res.Served = ad.served
+	res.ServedImmediately = ad.immediate
+	res.RequestsEvaluated = ad.evaluated
+	res.MaxQueueDepth = ad.maxQueue
+	res.MaxWait = ad.maxWait
+	res.MeanWait = secs(stats.Mean(ad.waits))
+	res.MeanFidelity = stats.Mean(ad.fids)
 	return res, nil
 }

@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -135,9 +139,13 @@ func flushSweepBench(path string) error {
 		// Walker1kDayCostRatio is NsPerOp(n=1008)/NsPerOp(n=504) over the
 		// same daylong grid — ~2 when per-step cost is linear in the
 		// satellite count, ~4 if it were quadratic.
-		Walker1kPairsVisitedRatio float64            `json:"walker1k_pairs_visited_ratio,omitempty"`
-		Walker1kDayCostRatio      float64            `json:"walker1k_day_cost_ratio,omitempty"`
-		Benchmarks                []sweepBenchRecord `json:"benchmarks"`
+		Walker1kPairsVisitedRatio float64 `json:"walker1k_pairs_visited_ratio,omitempty"`
+		Walker1kDayCostRatio      float64 `json:"walker1k_day_cost_ratio,omitempty"`
+		// ServeDaemonEvalPerSec is the serve daemon's end-to-end admission
+		// throughput — requests evaluated per wall-clock second across the
+		// HTTP round trip, captured by BenchmarkServeDaemonThroughput.
+		ServeDaemonEvalPerSec float64            `json:"serve_daemon_requests_evaluated_per_sec,omitempty"`
+		Benchmarks            []sweepBenchRecord `json:"benchmarks"`
 	}{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -179,6 +187,7 @@ func flushSweepBench(path string) error {
 	if walker504 > 0 && walker1008 > 0 {
 		report.Walker1kDayCostRatio = walker1008 / walker504
 	}
+	report.ServeDaemonEvalPerSec = serveDaemonEvalPerSec
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -330,6 +339,58 @@ func BenchmarkCoverageDayWalker1k(b *testing.B) {
 			recordSweepBench(b, "CoverageDayWalker1k/"+tc.name, 1, allocs, bytes)
 		})
 	}
+}
+
+// serveDaemonEvalPerSec is captured by BenchmarkServeDaemonThroughput and
+// emitted by flushSweepBench: admission attempts per wall-clock second
+// through the daemon's full HTTP round trip.
+var serveDaemonEvalPerSec float64
+
+// BenchmarkServeDaemonThroughput measures the serve daemon end to end: each
+// iteration posts one fixed space-ground traffic query over HTTP and drains
+// the NDJSON response. One warmup query before the timed loop populates the
+// shared ephemeris cache, so the loop measures steady-state query cost —
+// the figure an operator sizing a deployment cares about. The derived
+// requests-evaluated/sec rate lands in the JSON report.
+func BenchmarkServeDaemonThroughput(b *testing.B) {
+	d, err := NewDaemon(DefaultParams(), testClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	const query = `{"arch":"space-ground","satellites":54,"rate_per_hour_per_site":30,"horizon":"30m","seed":9}`
+	post := func() {
+		resp, err := http.Post(srv.URL+"/v1/traffic", "application/json", strings.NewReader(query))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("traffic query status %d", resp.StatusCode)
+		}
+	}
+	post() // warm the ephemeris cache
+
+	evalBefore := d.RequestsEvaluated()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m allocMeter
+	m.start()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	allocs, bytes := m.stop()
+	evaluated := d.RequestsEvaluated() - evalBefore
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		serveDaemonEvalPerSec = float64(evaluated) / secs
+		b.ReportMetric(serveDaemonEvalPerSec, "evals/s")
+	}
+	recordSweepBench(b, "ServeDaemonThroughput", 1, allocs, bytes)
 }
 
 // BenchmarkEphemerisCache measures building the shared 108-satellite cache

@@ -15,12 +15,12 @@ func TestWorkloadSameSeedIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewWorkload(sc, 42).Batch(500)
-	b := NewWorkload(sc, 42).Batch(500)
+	a := mustWorkload(t, sc, 42).Batch(500)
+	b := mustWorkload(t, sc, 42).Batch(500)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same-seed workloads diverged")
 	}
-	c := NewWorkload(sc, 43).Batch(500)
+	c := mustWorkload(t, sc, 43).Batch(500)
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical workloads; seed is not wired through")
 	}

@@ -546,7 +546,10 @@ func (sc *Scenario) detailedCoverageEventDriven(duration time.Duration) (*Covera
 // validated and defaulted by the caller.
 func (sc *Scenario) runServeEventDriven(cfg ServeConfig) (*ServeResult, error) {
 	res := &ServeResult{Config: cfg}
-	wl := NewWorkload(sc, cfg.Seed)
+	wl, err := NewWorkload(sc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	grid := sampleGrid{gap: cfg.stepGap(sc.Params), steps: cfg.Steps}
 	eng, err := sc.newEventEngine(grid)
 	if err != nil {

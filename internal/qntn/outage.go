@@ -32,7 +32,9 @@ func (sc *Scenario) hapAvailable(hap netsim.Node, t time.Duration) bool {
 	if p >= 1 {
 		return false
 	}
-	step := int64(t / sc.Params.StepInterval)
+	// TopologyStep rather than StepInterval directly: a zero interval on a
+	// hand-assembled Params would otherwise divide by zero here.
+	step := int64(t / sc.Params.TopologyStep())
 	h := fnvOffset64
 	id := hap.ID()
 	for i := 0; i < len(id); i++ {

@@ -250,6 +250,20 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// TopologyStep returns the topology-update cadence every run path derives
+// its sampling from: StepInterval when positive, else the paper's 30 s STK
+// sampling default. Validate rejects a non-positive StepInterval on the
+// constructor paths, but parameters assembled by hand or mutated after
+// construction (tests, zero-valued configs) still reach the run loops —
+// this single fallback is what keeps a zero interval from degenerating
+// into a rejected ScheduleEvery cadence or a divide-by-zero step index.
+func (p Params) TopologyStep() time.Duration {
+	if p.StepInterval > 0 {
+		return p.StepInterval
+	}
+	return 30 * time.Second
+}
+
 // twilight returns the effective twilight depression angle.
 func (p Params) twilight() float64 {
 	if p.TwilightRad == 0 {

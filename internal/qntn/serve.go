@@ -46,8 +46,8 @@ func (cfg ServeConfig) validate() error {
 }
 
 // stepGap returns the spacing between this config's sample instants:
-// Horizon/Steps, falling back to the scenario step interval when the
-// integer division underflows to zero (Horizon shorter than Steps
+// Horizon/Steps, falling back to the scenario's topology-update cadence
+// when the integer division underflows to zero (Horizon shorter than Steps
 // nanoseconds). Every sampleTimes-derived loop — RunServe, RunServeDES, the
 // event-driven serve grid — must use this single definition; duplicating
 // the fallback is how the DES path once drifted a step short (see the
@@ -56,7 +56,7 @@ func (cfg ServeConfig) stepGap(p Params) time.Duration {
 	cfg = cfg.withDefaults()
 	gap := cfg.Horizon / time.Duration(cfg.Steps)
 	if gap <= 0 {
-		gap = p.StepInterval
+		gap = p.TopologyStep()
 	}
 	return gap
 }
@@ -103,7 +103,10 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 		return sc.runServeEventDriven(cfg)
 	}
 	res := &ServeResult{Config: cfg}
-	wl := NewWorkload(sc, cfg.Seed)
+	wl, err := NewWorkload(sc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 
 	// sampleTimes is the single source of truth for the instants this run
 	// evaluates — sweeps precompute the same list to propagate ephemerides

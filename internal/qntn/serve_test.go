@@ -225,7 +225,7 @@ func TestWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl := NewWorkload(sc, 3)
+	wl := mustWorkload(t, sc, 3)
 	batch := wl.Batch(500)
 	if len(batch) != 500 {
 		t.Fatalf("batch size %d", len(batch))

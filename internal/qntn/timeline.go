@@ -97,7 +97,10 @@ func (sc *Scenario) RunServeDES(cfg ServeConfig) (*ServeDESResult, error) {
 	}
 	res := &ServeDESResult{}
 	res.Config = cfg
-	wl := NewWorkload(sc, cfg.Seed)
+	wl, err := NewWorkload(sc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	// sampleTimes is the shared source of the per-step instants; deriving
 	// the step gap locally once dropped every sample past the horizon when
 	// the Horizon/Steps division underflowed and the StepInterval fallback

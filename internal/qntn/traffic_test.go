@@ -1,0 +1,238 @@
+package qntn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"qntn/internal/telemetry"
+)
+
+// trafficNDJSON runs the traffic engine on a freshly instrumented scenario
+// and returns the flushed NDJSON event stream plus the result.
+func trafficNDJSON(t *testing.T, build func() (*Scenario, error), cfg TrafficConfig) ([]byte, *TrafficResult) {
+	t.Helper()
+	sc, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	sc.Instrument(col)
+	res, err := sc.RunTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.Events.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestTrafficDeterministicAcrossWorkers is the engine's determinism gate:
+// one seed must produce byte-identical NDJSON event streams — and
+// identical results — at 1, 2 and 8 generation workers, because per-site
+// streams are seeded independently and merged in canonical order.
+func TestTrafficDeterministicAcrossWorkers(t *testing.T) {
+	build := func() (*Scenario, error) { return NewSpaceGround(54, DefaultParams()) }
+	base := TrafficConfig{
+		RatePerHourPerSite: 12,
+		Diurnal:            DiurnalProfile{Amplitude: 0.4, PeakHour: 18},
+		Horizon:            2 * time.Hour,
+		Seed:               5,
+	}
+	var refBytes []byte
+	var refRes *TrafficResult
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		gotBytes, gotRes := trafficNDJSON(t, build, cfg)
+		if len(gotBytes) == 0 {
+			t.Fatalf("workers=%d produced no events", workers)
+		}
+		if refBytes == nil {
+			refBytes, refRes = gotBytes, gotRes
+			continue
+		}
+		if !bytes.Equal(gotBytes, refBytes) {
+			t.Fatalf("workers=%d NDJSON diverged from workers=1", workers)
+		}
+		// Results carry the config (including Workers), so compare the
+		// physics fields.
+		gotCmp, refCmp := *gotRes, *refRes
+		gotCmp.Config, refCmp.Config = TrafficConfig{}, TrafficConfig{}
+		if !reflect.DeepEqual(gotCmp, refCmp) {
+			t.Fatalf("workers=%d result diverged:\n got %+v\nwant %+v", workers, gotCmp, refCmp)
+		}
+	}
+
+	// Same seed replays byte-identically; a different seed does not.
+	again, _ := trafficNDJSON(t, build, base)
+	if !bytes.Equal(again, refBytes) {
+		t.Fatal("same-seed rerun diverged")
+	}
+	reseeded := base
+	reseeded.Seed = 6
+	other, otherRes := trafficNDJSON(t, build, reseeded)
+	if bytes.Equal(other, refBytes) && otherRes.Arrivals == refRes.Arrivals {
+		t.Fatal("different seed produced an identical run")
+	}
+}
+
+// TestTrafficStreamsIndependentOfConstellation pins the purity contract:
+// per-site streams depend only on (config, ground sites), so two
+// scenarios differing solely in relay layer generate identical arrivals.
+func TestTrafficStreamsIndependentOfConstellation(t *testing.T) {
+	cfg := TrafficConfig{RatePerHourPerSite: 20, Horizon: time.Hour, Seed: 3}.withDefaults()
+	small, err := NewSpaceGround(24, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewSpaceGround(108, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := small.generateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := large.generateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("arrival streams depend on the relay layer")
+	}
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// Merged stream invariants: sorted by (time, site), IDs sequential.
+	for i := range a {
+		if a[i].req.ID != i+1 {
+			t.Fatalf("request IDs not sequential at %d: %d", i, a[i].req.ID)
+		}
+		if i > 0 && (a[i].at < a[i-1].at || (a[i].at == a[i-1].at && a[i].site < a[i-1].site)) {
+			t.Fatalf("merge order violated at %d", i)
+		}
+	}
+}
+
+// TestTrafficDiurnalShape checks the Lewis–Shedler thinning actually bends
+// the arrival rate: with a strong profile peaking at hour 6, the peak
+// quarter of the day must out-arrive the trough quarter.
+func TestTrafficDiurnalShape(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrafficConfig{
+		RatePerHourPerSite: 30,
+		Diurnal:            DiurnalProfile{Amplitude: 0.9, PeakHour: 6},
+		Horizon:            24 * time.Hour,
+		Seed:               8,
+	}
+	arr, err := sc.generateTraffic(cfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, trough := 0, 0
+	for _, a := range arr {
+		switch h := a.at.Hours(); {
+		case h >= 3 && h < 9: // around the peak at 6
+			peak++
+		case h >= 15 && h < 21: // around the trough at 18
+			trough++
+		}
+	}
+	if peak <= 2*trough {
+		t.Fatalf("diurnal profile too weak: peak window %d vs trough window %d", peak, trough)
+	}
+
+	// Multiplier endpoints.
+	d := cfg.Diurnal
+	if m := d.Multiplier(6 * time.Hour); m < 1.89 || m > 1.91 {
+		t.Fatalf("peak multiplier %g", m)
+	}
+	if m := d.Multiplier(18 * time.Hour); m < 0.09 || m > 0.11 {
+		t.Fatalf("trough multiplier %g", m)
+	}
+	if m := (DiurnalProfile{}).Multiplier(13 * time.Hour); m != 1 {
+		t.Fatalf("flat profile multiplier %g", m)
+	}
+}
+
+// TestTrafficServes runs the full engine on the always-bridged air-ground
+// architecture: everything arrives served on the spot, and the per-step
+// events reconcile with the result totals.
+func TestTrafficServes(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	sc.Instrument(col)
+	cfg := TrafficConfig{RatePerHourPerSite: 8, Horizon: time.Hour, Seed: 2}
+	res, err := sc.RunTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites != 31 {
+		t.Fatalf("expected the paper's 31 ground sites, got %d", res.Sites)
+	}
+	if res.Arrivals == 0 || res.Served != res.Arrivals || res.ServedImmediately != res.Served {
+		t.Fatalf("air-ground should serve everything immediately: %+v", res)
+	}
+	if res.QueuedAtEnd != 0 || res.MaxQueueDepth != 0 || res.MeanWait != 0 {
+		t.Fatalf("air-ground should never queue: %+v", res)
+	}
+	if res.Steps != 121 { // one hour at 30 s, endpoints inclusive
+		t.Fatalf("expected 121 topology steps, got %d", res.Steps)
+	}
+	if res.RequestsEvaluated != res.Arrivals {
+		t.Fatalf("no drains expected: evaluated %d vs arrivals %d", res.RequestsEvaluated, res.Arrivals)
+	}
+
+	events := col.Events.Events()
+	var evArrivals, evServed int64
+	for _, e := range events {
+		evArrivals += e.Arrivals
+		evServed += e.Served
+		if e.QueueDepth != 0 {
+			t.Fatalf("step %d reports queue depth %d", e.Step, e.QueueDepth)
+		}
+	}
+	// Arrivals after the final in-horizon update are not covered by any
+	// event window; everything else must reconcile.
+	if evArrivals > int64(res.Arrivals) || evServed > int64(res.Served) {
+		t.Fatalf("events overcount: arrivals %d>%d or served %d>%d", evArrivals, res.Arrivals, evServed, res.Served)
+	}
+	if evServed < evArrivals {
+		t.Fatalf("evented served %d below evented arrivals %d on an always-bridged scenario", evServed, evArrivals)
+	}
+}
+
+// TestTrafficRejectsBadConfig covers the validation surface.
+func TestTrafficRejectsBadConfig(t *testing.T) {
+	sc, err := NewAirGround(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]TrafficConfig{
+		"zero rate":      {RatePerHourPerSite: 0},
+		"amplitude >= 1": {RatePerHourPerSite: 10, Diurnal: DiurnalProfile{Amplitude: 1}},
+		"negative amp":   {RatePerHourPerSite: 10, Diurnal: DiurnalProfile{Amplitude: -0.1}},
+		"peak hour 24":   {RatePerHourPerSite: 10, Diurnal: DiurnalProfile{Amplitude: 0.5, PeakHour: 24}},
+	} {
+		if _, err := sc.RunTraffic(cfg); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+
+	// Single-LAN scenarios cannot form inter-LAN traffic.
+	lans := GroundNetworks()
+	degenerate := &Scenario{LANs: lans[:1], GroundIDs: map[string][]string{lans[0].Name: {"TTU-01"}}}
+	if _, err := degenerate.RunTraffic(TrafficConfig{RatePerHourPerSite: 10}); err == nil {
+		t.Fatal("single-LAN scenario accepted")
+	}
+}

@@ -18,19 +18,28 @@ type Workload struct {
 }
 
 // NewWorkload builds a deterministic workload generator over the scenario's
-// ground hosts.
-func NewWorkload(sc *Scenario, seed int64) *Workload {
+// ground hosts. Every request is inter-LAN, so the scenario must contribute
+// ground hosts from at least two local networks: with none, Next would
+// panic in rand.Intn(0), and with a single LAN it would spin forever
+// rejecting intra-LAN draws — both now surface as a constructor error (the
+// mirror of the WaitingTimes guard).
+func NewWorkload(sc *Scenario, seed int64) (*Workload, error) {
 	w := &Workload{
 		rng:   rand.New(rand.NewSource(seed)),
 		lanOf: make(map[string]string),
 	}
+	lans := make(map[string]bool)
 	for _, lan := range sc.LANs {
 		for _, id := range sc.GroundIDs[lan.Name] {
 			w.ids = append(w.ids, id)
 			w.lanOf[id] = lan.Name
+			lans[lan.Name] = true
 		}
 	}
-	return w
+	if len(lans) < 2 {
+		return nil, fmt.Errorf("qntn: workload needs ground hosts in at least two local networks, scenario has %d host(s) across %d network(s)", len(w.ids), len(lans))
+	}
+	return w, nil
 }
 
 // Next returns one inter-LAN request.

@@ -36,6 +36,29 @@ func TaskSeed(base int64, task uint64) int64 {
 	return int64(mix64(uint64(base) + (task+1)*splitmixGamma))
 }
 
+// FNV-1a constants (FNV-0 hash of "chongo <Landon Curt Noll> /\\../\\" and
+// the 64-bit FNV prime). Inlined rather than importing hash/fnv so callers
+// hashing short identifiers per task pay no allocation for the hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV64a hashes an identifier into a task index for TaskSeed. Named
+// streams — fault platforms, traffic ground sites — derive their seeds as
+// TaskSeed(base, FNV64a(id)), which keeps every stream a pure function of
+// (base seed, identifier): adding or removing other streams never perturbs
+// it. The hash is standard FNV-1a, stable across releases (experiment
+// outputs depend on it).
+func FNV64a(id string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // TaskSeeds derives n distinct seeds from one base seed, one per task
 // index, in index order.
 func TaskSeeds(base int64, n int) []int64 {

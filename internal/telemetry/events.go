@@ -34,7 +34,12 @@ type Event struct {
 	Covered        bool    `json:"covered,omitempty"`
 	Served         int64   `json:"served,omitempty"`
 	Dropped        int64   `json:"dropped,omitempty"`
-	MeanFidelity   float64 `json:"mean_fidelity,omitempty"`
+	// Arrivals counts requests arriving in the window that ends at this
+	// step; QueueDepth is the number still waiting after the step's drain.
+	// Both are produced by the request-level traffic engine.
+	Arrivals     int64   `json:"arrivals,omitempty"`
+	QueueDepth   int64   `json:"queue_depth,omitempty"`
+	MeanFidelity float64 `json:"mean_fidelity,omitempty"`
 }
 
 // Validate rejects events that cannot round-trip safely: non-finite floats
@@ -71,6 +76,8 @@ func (e Event) Validate() error {
 		{"nodes_down", e.NodesDown},
 		{"served", e.Served},
 		{"dropped", e.Dropped},
+		{"arrivals", e.Arrivals},
+		{"queue_depth", e.QueueDepth},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("telemetry: event %q step %d: negative %s %d", e.Label, e.Step, c.name, c.v)
@@ -144,23 +151,30 @@ func (s *EventSink) Events() []Event {
 	return out
 }
 
+// WriteEvent validates e and writes its single-line JSON encoding to w —
+// the per-record core WriteNDJSON loops over, exported so streaming
+// producers (the serve daemon) emit records under the same validation the
+// batch writer applies.
+func WriteEvent(w io.Writer, e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
 // WriteNDJSON flushes the sorted event stream as newline-delimited JSON,
 // validating every record first.
 func (s *EventSink) WriteNDJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for i, e := range s.Events() {
-		if err := e.Validate(); err != nil {
+		if err := WriteEvent(bw, e); err != nil {
 			return fmt.Errorf("row %d: %w", i+1, err)
-		}
-		b, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("telemetry: row %d: %w", i+1, err)
-		}
-		if _, err := bw.Write(b); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
 		}
 	}
 	return bw.Flush()
