@@ -42,13 +42,13 @@ vet:
 # machine-readable report — timings, allocs/op, parallel speedups — to
 # BENCH_sweep.json.
 bench:
-	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Walker|Qntnlint|ServeDaemon' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Walker|Qntnlint|ServeDaemon|ServeProtocol' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_sweep.json
 	@cat BENCH_sweep.json
 
 # benchdiff compares a fresh bench run against the committed baseline
 # (report-only; never fails).
 benchdiff:
-	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Walker|Qntnlint|ServeDaemon' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_new.json
+	$(GO) test -bench='Sweep|Snapshot|Routes|CoverageHour|CoverageDay|Walker|Qntnlint|ServeDaemon|ServeProtocol' -benchtime=1x -benchmem -run '^$$' ./internal/qntn -args -benchjson=$(CURDIR)/BENCH_new.json
 	$(GO) run ./cmd/benchdiff BENCH_sweep.json BENCH_new.json
 
 # profile runs a quick full-figure workload under the CPU and heap

@@ -12,7 +12,8 @@
 //	qntnsim ablations            # routing metric, convention, masks,
 //	                             # placement, turbulence, orbit design
 //	qntnsim latency|purify|qkd|night|statewide|outage|degrade|
-//	        multipath|throughput|arrivals  # extension studies (see DESIGN.md)
+//	        multipath|throughput|arrivals|protocol  # extension studies
+//	                             # (see DESIGN.md)
 //	qntnsim serve-daemon [-addr 127.0.0.1:9641]  # persistent traffic-engine
 //	                             # HTTP daemon (see DESIGN.md "Traffic
 //	                             # engine & serve daemon")
@@ -50,6 +51,7 @@ import (
 	"qntn/internal/orbit"
 	"qntn/internal/qkd"
 	"qntn/internal/qntn"
+	"qntn/internal/quantum/protocol"
 	"qntn/internal/routing"
 	"qntn/internal/telemetry"
 )
@@ -166,7 +168,7 @@ func run(args []string, w io.Writer) (err error) {
 	fs.BoolVar(&opt.noSpatialIndex, "no-spatial-index", false, "force dense n² candidate generation instead of the spatial index (results are identical; differential-testing escape hatch)")
 	fs.StringVar(&opt.addr, "addr", "127.0.0.1:9641", "serve-daemon subcommand: HTTP listen address")
 	fs.Usage = func() {
-		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|serve-daemon|walker|params|all")
+		fmt.Fprintln(w, "usage: qntnsim [flags] fig5|fig6|fig7|fig8|table3|ablations|latency|purify|qkd|night|statewide|outage|degrade|multipath|throughput|arrivals|protocol|serve-daemon|walker|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -295,6 +297,8 @@ func run(args []string, w io.Writer) (err error) {
 			return runDegrade(w, params, serveCfg, opt)
 		case "multipath":
 			return runMultipath(w, params, serveCfg, opt.parallel)
+		case "protocol":
+			return runProtocol(w, params, serveCfg, opt)
 		case "throughput":
 			return runThroughput(w, params, serveCfg)
 		case "arrivals":
@@ -319,6 +323,7 @@ func run(args []string, w io.Writer) (err error) {
 				func() error { return runOutage(w, params, serveCfg, opt.duration) },
 				func() error { return runDegrade(w, params, serveCfg, opt) },
 				func() error { return runMultipath(w, params, serveCfg, opt.parallel) },
+				func() error { return runProtocol(w, params, serveCfg, opt) },
 				func() error { return runThroughput(w, params, serveCfg) },
 				func() error { return runArrivals(w, params, opt.duration, opt.seed) },
 			} {
@@ -789,6 +794,45 @@ func runMultipath(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, parallel int
 	}
 	return experiments.RenderTable(w, "Extension — disjoint-path redundancy (hybrid: HAP + 108 satellites)",
 		[]string{"path budget", "mean paths found", "P(at least one success)"}, cells)
+}
+
+func runProtocol(w io.Writer, p qntn.Params, cfg qntn.ServeConfig, opt options) error {
+	// The study's protocol mix: lossy linear-optics-grade swaps and the
+	// differential suite's draw seed, with memory quality and purification
+	// budget as the grid axes.
+	base := protocol.Config{SwapSuccess: 0.85, Seed: 5}
+	sizes := []int{6, 24, 54, 108}
+	t2s := []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond}
+	budgets := []int{1, 2, 4}
+	if opt.quick {
+		sizes = []int{6, 24}
+		t2s = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
+		budgets = []int{1, 3}
+	}
+	rows, err := experiments.ProtocolStudyParallel(p, cfg, base, sizes, t2s, budgets, opt.parallel)
+	if err != nil {
+		return err
+	}
+	if err := opt.writeCSV("protocol.csv", func(f io.Writer) error { return experiments.ProtocolCSV(f, rows) }); err != nil {
+		return err
+	}
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		proto := "off"
+		if r.Enabled {
+			proto = fmt.Sprintf("T2=%v k=%d", r.MemoryT2, r.PurifyPaths)
+		}
+		cells[i] = []string{
+			r.Architecture,
+			strconv.Itoa(r.Satellites),
+			proto,
+			experiments.FormatPercent(r.ServedPercent),
+			fmt.Sprintf("%.4f", r.MeanFidelity),
+			fmt.Sprintf("%.4f", r.MeanPathEta),
+		}
+	}
+	return experiments.RenderTable(w, "Extension — entanglement protocol: T2 memories, swap chains, k-path purification",
+		[]string{"architecture", "satellites", "protocol", "served", "fidelity", "path eta"}, cells)
 }
 
 func runThroughput(w io.Writer, p qntn.Params, cfg qntn.ServeConfig) error {

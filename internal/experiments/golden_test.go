@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"qntn/internal/qntn"
+	"qntn/internal/quantum/protocol"
 )
 
 // update regenerates the golden CSVs instead of comparing against them:
@@ -119,6 +120,28 @@ func TestGoldenDegradationCSV(t *testing.T) {
 				t.Fatal(err)
 			}
 			checkGolden(t, "degrade.csv", buf.Bytes())
+		})
+	}
+}
+
+func TestGoldenProtocolCSV(t *testing.T) {
+	p := goldenParams()
+	cfg := goldenServeConfig()
+	base := protocol.Config{SwapSuccess: 0.85, Seed: 5}
+	sizes := []int{6, 24}
+	t2s := []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
+	budgets := []int{1, 3}
+	for _, workers := range goldenWorkerCounts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rows, err := ProtocolStudyParallel(p, cfg, base, sizes, t2s, budgets, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := ProtocolCSV(&buf, rows); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "protocol.csv", buf.Bytes())
 		})
 	}
 }

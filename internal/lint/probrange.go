@@ -22,8 +22,12 @@ var probExcludeWords = map[string]bool{"percent": true, "db": true}
 // nanGuardPackages are the numeric hot-path packages (matched on the final
 // import-path element) where Sqrt/Log results must be NaN-guarded. stats
 // joined the list when Summarize/Percentile learned to propagate NaN
-// explicitly instead of corrupting silently.
-var nanGuardPackages = map[string]bool{"channel": true, "quantum": true, "stats": true}
+// explicitly instead of corrupting silently; protocol joined with the
+// scalar entanglement-protocol layer, whose Werner compositions run once
+// per served request.
+var nanGuardPackages = map[string]bool{
+	"channel": true, "quantum": true, "stats": true, "protocol": true,
+}
 
 // nanSources are the math functions whose result is NaN for out-of-domain
 // inputs.

@@ -84,6 +84,11 @@ type admission struct {
 	graph *routing.Graph
 	memo  map[string]*routing.SingleSourceResult
 	queue []queuedRequest
+	// pe is nil unless the entanglement-protocol layer is enabled; a
+	// request whose protocol attempt fails stays queued and redraws at the
+	// next drain instant (PairKey includes the evaluation time).
+	pe    *protoEval
+	proto protoOutcome // accumulated draw counters over the run
 
 	served    int
 	immediate int
@@ -100,6 +105,7 @@ func newAdmission(sc *Scenario) *admission {
 		sc:    sc,
 		graph: routing.NewGraph(),
 		memo:  make(map[string]*routing.SingleSourceResult),
+		pe:    sc.newProtoEval(),
 	}
 }
 
@@ -143,6 +149,23 @@ func (ad *admission) tryServe(now time.Duration, q queuedRequest, onArrival bool
 	if err != nil {
 		return false, err
 	}
+	f := PathFidelity(etas, ad.sc.Params.FidelityModel)
+	if ad.pe != nil {
+		po, err := ad.pe.outcome(ad.graph, path, q.req, now)
+		if err != nil {
+			return false, err
+		}
+		ad.proto.swapAttempts += po.swapAttempts
+		ad.proto.swapFailures += po.swapFailures
+		ad.proto.purifyRounds += po.purifyRounds
+		ad.proto.purifyAccepted += po.purifyAccepted
+		if !po.served {
+			// Swap chain or distillation failed: the request stays queued
+			// and redraws at the next topology instant.
+			return false, nil
+		}
+		f = po.fidelity
+	}
 	wait := now - q.arrived
 	ad.served++
 	if onArrival {
@@ -152,7 +175,6 @@ func (ad *admission) tryServe(now time.Duration, q queuedRequest, onArrival bool
 	if wait > ad.maxWait {
 		ad.maxWait = wait
 	}
-	f := PathFidelity(etas, ad.sc.Params.FidelityModel)
 	ad.fids = append(ad.fids, f)
 	ad.fidSum += f
 	return true, nil

@@ -16,6 +16,7 @@ import (
 
 	"qntn/internal/netsim"
 	"qntn/internal/orbit"
+	"qntn/internal/quantum/protocol"
 	"qntn/internal/routing"
 )
 
@@ -407,5 +408,51 @@ func BenchmarkEphemerisCache(b *testing.B) {
 		if _, err := NewEphemerisCache(108, p, times); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeProtocol108 measures the protocol layer's serving overhead
+// on the paper's largest constellation: the same RunServe workload with the
+// entanglement protocol disabled (the seed model's hot path, byte-identical
+// to pre-protocol behavior) and enabled (disjoint-route extraction, swap
+// draws, dephasing and distillation per served request). The off/on pair in
+// BENCH_sweep.json is the documented cost of protocol realism.
+func BenchmarkServeProtocol108(b *testing.B) {
+	cfg := ServeConfig{RequestsPerStep: 25, Steps: 25, Seed: 1}
+	variants := []struct {
+		name  string
+		proto protocol.Config
+	}{
+		{name: "off"},
+		{name: "on", proto: protocol.Config{
+			MemoryT2:    20 * time.Millisecond,
+			SwapSuccess: 0.85,
+			PurifyPaths: 3,
+			Seed:        5,
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			p := DefaultParams()
+			p.Protocol = v.proto
+			sc, err := NewSpaceGround(108, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sc.RunServe(cfg); err != nil { // warm the ephemerides
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var m allocMeter
+			m.start()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.RunServe(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			allocs, bytes := m.stop()
+			recordSweepBench(b, "ServeProtocol108/"+v.name, 1, allocs, bytes)
+		})
 	}
 }

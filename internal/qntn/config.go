@@ -8,6 +8,7 @@ import (
 
 	"qntn/internal/atmosphere"
 	"qntn/internal/fault"
+	"qntn/internal/quantum/protocol"
 )
 
 // paramsJSON is the serialized form of Params: durations in seconds,
@@ -42,6 +43,19 @@ type paramsJSON struct {
 	Fault                   *faultJSON `json:"fault,omitempty"`
 	FidelityModel           string     `json:"fidelity_model"`
 	RoutingEpsilon          float64    `json:"routing_epsilon"`
+	// Protocol is emitted only when the entanglement-protocol layer is
+	// enabled, so protocol-off parameter files (and their ParamsHash) are
+	// byte-identical to the pre-protocol format.
+	Protocol *protocolJSON `json:"protocol,omitempty"`
+}
+
+// protocolJSON is the serialized form of protocol.Config: durations in
+// seconds.
+type protocolJSON struct {
+	MemoryT2S   float64 `json:"memory_t2_s"`
+	SwapSuccess float64 `json:"swap_success"`
+	PurifyPaths int     `json:"purify_paths"`
+	Seed        int64   `json:"seed"`
 }
 
 // faultJSON is the serialized form of fault.Config: durations in seconds.
@@ -158,6 +172,14 @@ func SaveParams(w io.Writer, p Params) error {
 			Scale:       p.Turbulence.Scale,
 		}
 	}
+	if p.Protocol.Enabled() {
+		j.Protocol = &protocolJSON{
+			MemoryT2S:   p.Protocol.MemoryT2.Seconds(),
+			SwapSuccess: p.Protocol.SwapSuccess,
+			PurifyPaths: p.Protocol.PurifyPaths,
+			Seed:        p.Protocol.Seed,
+		}
+	}
 	if p.Fault != (fault.Config{}) {
 		j.Fault = &faultJSON{
 			SatMTBFS:           p.Fault.SatMTBF.Seconds(),
@@ -228,6 +250,14 @@ func LoadParams(r io.Reader) (Params, error) {
 			WindSpeedMS: j.Turbulence.WindSpeedMS,
 			GroundCn2:   j.Turbulence.GroundCn2,
 			Scale:       j.Turbulence.Scale,
+		}
+	}
+	if j.Protocol != nil {
+		p.Protocol = protocol.Config{
+			MemoryT2:    secsToDuration(j.Protocol.MemoryT2S),
+			SwapSuccess: j.Protocol.SwapSuccess,
+			PurifyPaths: j.Protocol.PurifyPaths,
+			Seed:        j.Protocol.Seed,
 		}
 	}
 	if j.Fault != nil {

@@ -557,6 +557,7 @@ func (sc *Scenario) runServeEventDriven(cfg ServeConfig) (*ServeResult, error) {
 	}
 	defer eng.Close()
 	var scratch routing.BellmanFordScratch
+	pe := sc.newProtoEval()
 	var fids, etas []float64
 	for k := 0; k < grid.steps; k++ {
 		if err := eng.runStep(k); err != nil {
@@ -571,16 +572,31 @@ func (sc *Scenario) runServeEventDriven(cfg ServeConfig) (*ServeResult, error) {
 				if err != nil {
 					return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
 				}
-				hopEtas, err := eng.g.EdgeEtas(path)
-				if err != nil {
-					return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
+				if pe != nil {
+					po, err := pe.outcome(eng.g, path, req, at)
+					if err != nil {
+						return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
+					}
+					if po.served {
+						out.Served = true
+						out.Path = path
+						out.EndToEndEta = po.primaryEta
+						out.Fidelity = po.fidelity
+						fids = append(fids, out.Fidelity)
+						etas = append(etas, out.EndToEndEta)
+					}
+				} else {
+					hopEtas, err := eng.g.EdgeEtas(path)
+					if err != nil {
+						return nil, fmt.Errorf("qntn: step %d request %d: %w", k, req.ID, err)
+					}
+					out.Served = true
+					out.Path = path
+					out.EndToEndEta = product(hopEtas)
+					out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
+					fids = append(fids, out.Fidelity)
+					etas = append(etas, out.EndToEndEta)
 				}
-				out.Served = true
-				out.Path = path
-				out.EndToEndEta = product(hopEtas)
-				out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
-				fids = append(fids, out.Fidelity)
-				etas = append(etas, out.EndToEndEta)
 			}
 			res.Metrics.Record(out)
 		}

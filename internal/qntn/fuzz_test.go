@@ -152,6 +152,48 @@ func FuzzParamsRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzProtocolParamsRoundTrip drives the entanglement-protocol block of the
+// Params codec: any protocol configuration that validates — including the
+// all-zero disabled one, which must stay omitted from the JSON — survives
+// save → load with the discrete fields exact and the T2 duration within the
+// s↔ns conversion error.
+func FuzzProtocolParamsRoundTrip(f *testing.F) {
+	f.Add(0.0, 0.0, 0, int64(0))        // disabled: the byte-identity default
+	f.Add(0.02, 0.85, 3, int64(5))      // the differential suite's mix
+	f.Add(0.0, 1.0, 0, int64(0))        // deterministic swaps, ideal memories
+	f.Add(1e-9, 0.5, 64, int64(-1))     // tiny T2, max purify budget
+	f.Add(86400.0, 0.001, 1, int64(42)) // day-scale T2, lossy swaps
+
+	f.Fuzz(func(t *testing.T, t2S, swapSuccess float64, purifyPaths int, seed int64) {
+		if !(t2S >= 0 && t2S < 1e7) {
+			return
+		}
+		p := DefaultParams()
+		p.Protocol.MemoryT2 = time.Duration(t2S * float64(time.Second))
+		p.Protocol.SwapSuccess = swapSuccess
+		p.Protocol.PurifyPaths = purifyPaths
+		p.Protocol.Seed = seed
+		if p.Validate() != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveParams(&buf, p); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		if !p.Protocol.Enabled() && bytes.Contains(buf.Bytes(), []byte("protocol")) {
+			t.Fatalf("disabled protocol config serialized:\n%s", buf.String())
+		}
+		p2, err := LoadParams(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load of saved params failed: %v\n%s", err, buf.String())
+		}
+		if p2.Protocol.Enabled() != p.Protocol.Enabled() {
+			t.Fatalf("protocol enablement changed: %v -> %v", p.Protocol.Enabled(), p2.Protocol.Enabled())
+		}
+		paramsSemanticallyEqual(t, p, p2)
+	})
+}
+
 // FuzzServeConfigRoundTrip: any workload the ServeConfig codec accepts must
 // survive save → load with the discrete fields exact and the horizon within
 // the s↔ns conversion error.

@@ -15,6 +15,7 @@ import (
 	"qntn/internal/atmosphere"
 	"qntn/internal/channel"
 	"qntn/internal/fault"
+	"qntn/internal/quantum/protocol"
 	"qntn/internal/telemetry"
 )
 
@@ -119,6 +120,16 @@ type Params struct {
 	// FidelityModel selects how end-to-end fidelity is computed from a
 	// path's link transmissivities.
 	FidelityModel FidelityModel
+
+	// Protocol configures the entanglement-protocol layer (T2 memories,
+	// seed-derived swap chains, k-path purification — see
+	// internal/quantum/protocol): when enabled, every multi-hop request in
+	// RunServe/RunArrivals/RunTraffic runs the full swap-and-distill
+	// pipeline instead of the instantaneous path-fidelity formula. The zero
+	// value — the paper's assumption — disables the layer; disabled runs
+	// never branch into it, so their output is byte-identical to the
+	// pre-protocol behavior by construction.
+	Protocol protocol.Config
 
 	// RoutingEpsilon is the ε of the 1/(η+ε) cost metric.
 	RoutingEpsilon float64
@@ -245,6 +256,9 @@ func (p Params) Validate() error {
 		return fmt.Errorf("qntn: HAP outage probability %g outside [0,1]", p.HAPOutageProbability)
 	}
 	if err := p.Fault.Validate(); err != nil {
+		return fmt.Errorf("qntn: %w", err)
+	}
+	if err := p.Protocol.Validate(); err != nil {
 		return fmt.Errorf("qntn: %w", err)
 	}
 	return nil

@@ -1,0 +1,169 @@
+package qntn
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qntn/internal/netsim"
+	"qntn/internal/quantum/protocol"
+	"qntn/internal/routing"
+)
+
+// protoTestConfig is the enabled protocol mix the white-box tests use.
+func protoTestConfig() protocol.Config {
+	return protocol.Config{
+		MemoryT2:    20 * time.Millisecond,
+		SwapSuccess: 0.85,
+		PurifyPaths: 3,
+		Seed:        5,
+	}
+}
+
+// TestProtocolZeroHopBypass is the zero-hop regression: a request routed
+// over a single edge — same-LAN fiber, or two directly linked ground
+// stations — performs no swaps, waits zero time in memory, and keeps
+// exactly the seed model's fidelity. An implementation that charged the
+// 2L/c heralding wait and a swap loop to a direct route would dephase a
+// pair that never sits in memory; this pins the bypass.
+func TestProtocolZeroHopBypass(t *testing.T) {
+	g := routing.NewGraph()
+	if err := g.AddEdge("lanA-host", "lanA-switch", 0.92); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Protocol = protoTestConfig()
+	sc := &Scenario{Params: p}
+	pe := sc.newProtoEval()
+	if pe == nil {
+		t.Fatal("protocol enabled but newProtoEval returned nil")
+	}
+	path := []string{"lanA-host", "lanA-switch"}
+	req := netsim.Request{ID: 3, Src: path[0], Dst: path[1]}
+	po, err := pe.outcome(g, path, req, 90*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po.served {
+		t.Fatal("zero-hop route must always serve: no swaps to fail")
+	}
+	etas := []float64{0.92}
+	if want := PathFidelity(etas, p.FidelityModel); po.fidelity != want {
+		t.Fatalf("zero-hop fidelity %v != seed model fidelity %v — bypass dephased or swapped a direct pair", po.fidelity, want)
+	}
+	if po.primaryEta != 0.92 {
+		t.Fatalf("zero-hop eta %v != edge eta", po.primaryEta)
+	}
+	if po.swapAttempts != 0 || po.swapFailures != 0 || po.purifyRounds != 0 || po.purifyAccepted != 0 {
+		t.Fatalf("zero-hop route consumed draws: %+v", po)
+	}
+}
+
+// protoTestAttempt is one routable request at a found topology instant.
+type protoTestAttempt struct {
+	req  netsim.Request
+	path []string
+}
+
+// protoTestTopology scans the day for the first topology instant with
+// multi-hop routable workload requests — satellite passes are intermittent,
+// so a fixed instant can land in a gap — and returns it with its routes and
+// the routable batch.
+func protoTestTopology(t *testing.T, sc *Scenario) (time.Duration, *routing.Graph, []protoTestAttempt) {
+	t.Helper()
+	for at := time.Duration(0); at < 24*time.Hour; at += 5 * time.Minute {
+		tables, g, err := sc.Routes(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := NewWorkload(sc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var attempts []protoTestAttempt
+		for _, req := range wl.Batch(50) {
+			if !tables.Reachable(req.Src, req.Dst) {
+				continue
+			}
+			path, err := tables.Path(req.Src, req.Dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) > 2 { // multi-hop: the full pipeline, not the bypass
+				attempts = append(attempts, protoTestAttempt{req, path})
+			}
+		}
+		if len(attempts) > 0 {
+			return at, g, attempts
+		}
+	}
+	t.Fatal("no instant of the day has a multi-hop routable request")
+	return 0, nil, nil
+}
+
+// TestProtocolOutcomeDeterministic: repeated evaluation of the same request
+// at the same instant is identical (same draws), while a different instant
+// redraws independently — the property that lets a queued request retry.
+func TestProtocolOutcomeDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.Protocol = protoTestConfig()
+	sc, err := NewSpaceGround(24, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, g, attempts := protoTestTopology(t, sc)
+	pe := sc.newProtoEval()
+	fresh := sc.newProtoEval()
+	for _, a := range attempts {
+		first, err := pe.outcome(g, a.path, a.req, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := pe.outcome(g, a.path, a.req, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("request %d: reused evaluator diverged: %+v vs %+v", a.req.ID, first, second)
+		}
+		viaFresh, err := fresh.outcome(g, a.path, a.req, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, viaFresh) {
+			t.Fatalf("request %d: fresh evaluator diverged: %+v vs %+v", a.req.ID, first, viaFresh)
+		}
+	}
+}
+
+// TestProtocolOutcomeZeroAllocs: the per-request protocol evaluation —
+// disjoint extraction, swap chain, dephasing, distillation — must be
+// allocation-free once the evaluator's buffers are warm, so the pooled
+// GraphInto/SnapshotInto serving fast path survives protocol enablement.
+func TestProtocolOutcomeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping allocates; AllocsPerRun is meaningless")
+	}
+	p := DefaultParams()
+	p.Protocol = protoTestConfig()
+	sc, err := NewSpaceGround(24, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, g, attempts := protoTestTopology(t, sc)
+	pe := sc.newProtoEval()
+	for _, a := range attempts { // warm every buffer across path shapes
+		if _, err := pe.outcome(g, a.path, a.req, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		for _, a := range attempts {
+			if _, err := pe.outcome(g, a.path, a.req, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("warm protocol evaluation allocates %v times per batch", n)
+	}
+}

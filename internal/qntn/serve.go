@@ -115,9 +115,12 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 	times := cfg.sampleTimes(sc.Params)
 
 	// One graph and one Bellman-Ford scratch serve every step: the node
-	// set is fixed, so per-step work reuses their storage.
+	// set is fixed, so per-step work reuses their storage. pe is nil unless
+	// the entanglement-protocol layer is enabled; the nil branch below is
+	// the pre-protocol code verbatim.
 	graph := routing.NewGraph()
 	var scratch routing.BellmanFordScratch
+	pe := sc.newProtoEval()
 
 	tel := sc.tel
 	var label string
@@ -145,20 +148,45 @@ func (sc *Scenario) RunServe(cfg ServeConfig) (*ServeResult, error) {
 				if err != nil {
 					return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
 				}
-				hopEtas, err := graph.EdgeEtas(path)
-				if err != nil {
-					return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
-				}
-				out.Served = true
-				out.Path = path
-				out.EndToEndEta = product(hopEtas)
-				out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
-				fids = append(fids, out.Fidelity)
-				etas = append(etas, out.EndToEndEta)
-				stepServed++
-				stepFidSum += out.Fidelity
-				if tel != nil {
-					tel.fidelity.Observe(out.Fidelity)
+				if pe != nil {
+					po, err := pe.outcome(graph, path, req, at)
+					if err != nil {
+						return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
+					}
+					if tel != nil {
+						tel.addProto(&po)
+					}
+					if po.served {
+						out.Served = true
+						out.Path = path
+						out.EndToEndEta = po.primaryEta
+						out.Fidelity = po.fidelity
+						fids = append(fids, out.Fidelity)
+						etas = append(etas, out.EndToEndEta)
+						stepServed++
+						stepFidSum += out.Fidelity
+						if tel != nil {
+							tel.fidelity.Observe(out.Fidelity)
+						}
+					} else {
+						stepDropped++
+					}
+				} else {
+					hopEtas, err := graph.EdgeEtas(path)
+					if err != nil {
+						return nil, fmt.Errorf("qntn: step %d request %d: %w", step, req.ID, err)
+					}
+					out.Served = true
+					out.Path = path
+					out.EndToEndEta = product(hopEtas)
+					out.Fidelity = PathFidelity(hopEtas, sc.Params.FidelityModel)
+					fids = append(fids, out.Fidelity)
+					etas = append(etas, out.EndToEndEta)
+					stepServed++
+					stepFidSum += out.Fidelity
+					if tel != nil {
+						tel.fidelity.Observe(out.Fidelity)
+					}
 				}
 			} else {
 				stepDropped++

@@ -24,6 +24,21 @@ type scenarioTelemetry struct {
 	coverageSteps   *telemetry.Counter
 	coverageCovered *telemetry.Counter
 	fidelity        *telemetry.Histogram
+	// Entanglement-protocol layer counters (zero unless Params.Protocol is
+	// enabled): swap draws taken / failed, distillation rounds drawn /
+	// postselected.
+	protoSwaps          *telemetry.Counter
+	protoSwapFailures   *telemetry.Counter
+	protoPurifyRounds   *telemetry.Counter
+	protoPurifyAccepted *telemetry.Counter
+}
+
+// addProto accumulates one protocol verdict's draw counters.
+func (t *scenarioTelemetry) addProto(po *protoOutcome) {
+	t.protoSwaps.Add(uint64(po.swapAttempts))
+	t.protoSwapFailures.Add(uint64(po.swapFailures))
+	t.protoPurifyRounds.Add(uint64(po.purifyRounds))
+	t.protoPurifyAccepted.Add(uint64(po.purifyAccepted))
 }
 
 // Instrument attaches a telemetry collector to the scenario: the network
@@ -49,6 +64,11 @@ func (sc *Scenario) Instrument(c *telemetry.Collector) {
 		coverageSteps:   reg.Counter("coverage_steps_total"),
 		coverageCovered: reg.Counter("coverage_covered_steps_total"),
 		fidelity:        reg.Histogram("served_fidelity", fidelityBuckets),
+
+		protoSwaps:          reg.Counter("protocol_swaps_total"),
+		protoSwapFailures:   reg.Counter("protocol_swap_failures_total"),
+		protoPurifyRounds:   reg.Counter("protocol_purify_rounds_total"),
+		protoPurifyAccepted: reg.Counter("protocol_purify_accepted_total"),
 	}
 }
 

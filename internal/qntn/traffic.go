@@ -311,6 +311,9 @@ func (sc *Scenario) RunTraffic(cfg TrafficConfig) (*TrafficResult, error) {
 		for _, f := range ad.fids {
 			tel.fidelity.Observe(f)
 		}
+		if ad.pe != nil {
+			tel.addProto(&ad.proto)
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package protocol_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qntn/internal/quantum/protocol"
+)
+
+// FuzzSwapChain drives the full per-request composition — elementary-link
+// fidelity, swap chain with seeded success draws, memory dephasing,
+// distillation schedule — with arbitrary link fidelities, route lengths,
+// seeds and waits, and asserts no NaN and no escape from the Werner domain
+// anywhere in the pipeline.
+func FuzzSwapChain(f *testing.F) {
+	// Boundary corpus: floors, ceilings, zero-hop, huge waits, tiny T2,
+	// adversarial float encodings.
+	f.Add(0.5, uint8(0), int64(0), int64(0), int64(0), 0.5)
+	f.Add(1.0, uint8(1), int64(1), int64(time.Hour), int64(time.Nanosecond), 1.0)
+	f.Add(0.0, uint8(16), int64(-1), int64(-5), int64(-1), 0.001)
+	f.Add(math.Inf(1), uint8(3), int64(math.MaxInt64), int64(math.MaxInt64), int64(1), 1.0)
+	f.Add(math.NaN(), uint8(2), int64(7), int64(12345), int64(50_000_000), 0.25)
+	f.Add(0.9999999999, uint8(8), int64(42), int64(1), int64(math.MaxInt64), 0.75)
+	f.Fuzz(func(t *testing.T, rootF float64, hops uint8, seed, waitNs, t2Ns int64, pSwap float64) {
+		inWerner := func(w float64) {
+			t.Helper()
+			if math.IsNaN(w) || w < protocol.MinWernerFidelity || w > 1 {
+				t.Fatalf("fidelity %v escaped [%v,1]", w, protocol.MinWernerFidelity)
+			}
+		}
+		link := protocol.WernerFromRoot(rootF)
+		inWerner(link)
+		w := link
+		nHops := int(hops%24) + 1
+		att := make([]float64, 0, 3)
+		for j := 0; j < 3; j++ { // a few redundant path attempts
+			w = link
+			ok := true
+			for s := 0; s+1 < nHops; s++ {
+				d := protocol.Draw(seed, uint64(j), uint64(s))
+				if d < 0 || d >= 1 || math.IsNaN(d) {
+					t.Fatalf("draw %v outside [0,1)", d)
+				}
+				if pSwap > 0 && pSwap <= 1 && d >= pSwap {
+					ok = false
+					break
+				}
+				w = protocol.SwapWerner(w, link)
+				inWerner(w)
+			}
+			if !ok {
+				continue
+			}
+			w = protocol.DephaseWerner(w, time.Duration(waitNs), time.Duration(t2Ns))
+			inWerner(w)
+			att = append(att, w)
+		}
+		for i := 1; i < len(att); i++ {
+			for j := i; j > 0 && att[j] > att[j-1]; j-- {
+				att[j], att[j-1] = att[j-1], att[j]
+			}
+		}
+		if out, okDist, rounds, accepted := protocol.Distill(att, seed); okDist {
+			inWerner(out)
+			root := protocol.RootFromWerner(out)
+			if math.IsNaN(root) || root < 0.5 || root > 1 {
+				t.Fatalf("root fidelity %v escaped [0.5,1]", root)
+			}
+			if accepted > rounds || rounds > len(att) {
+				t.Fatalf("inconsistent distill counters: rounds=%d accepted=%d attempts=%d", rounds, accepted, len(att))
+			}
+		}
+		fo, pOK := protocol.PurifyWerner(link, w)
+		inWerner(fo)
+		if math.IsNaN(pOK) || pOK < 0 || pOK > 1 {
+			t.Fatalf("pSuccess %v outside [0,1]", pOK)
+		}
+	})
+}

@@ -318,16 +318,25 @@ func (g *Graph) PathEta(path []string) (float64, error) {
 
 // EdgeEtas returns the per-hop transmissivities along path.
 func (g *Graph) EdgeEtas(path []string) ([]float64, error) {
+	return g.EdgeEtasInto(nil, path)
+}
+
+// EdgeEtasInto appends the per-hop transmissivities along path to dst
+// (usually dst[:0] of a reused buffer) and returns it — the allocation-free
+// variant of EdgeEtas for per-request hot paths.
+//
+//qntn:hotpath once per protocol path attempt of every served request
+func (g *Graph) EdgeEtasInto(dst []float64, path []string) ([]float64, error) {
 	if len(path) < 2 {
-		return nil, nil
+		return dst, nil
 	}
-	out := make([]float64, 0, len(path)-1)
 	for i := 0; i+1 < len(path); i++ {
 		e, ok := g.Eta(path[i], path[i+1])
 		if !ok {
-			return nil, fmt.Errorf("routing: path uses missing edge %s-%s", path[i], path[i+1])
+			return dst, fmt.Errorf("routing: path uses missing edge %s-%s", path[i], path[i+1])
 		}
-		out = append(out, e)
+		//qntn:coldpath amortized growth: dst is the caller's reused buffer
+		dst = append(dst, e)
 	}
-	return out, nil
+	return dst, nil
 }

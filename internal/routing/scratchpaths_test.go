@@ -1,0 +1,240 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// tieGraph builds a random graph whose transmissivities come from a tiny
+// set, so −log η costs collide constantly and equal-cost predecessor
+// choices (the hard part of scratch/baseline equivalence) are exercised on
+// nearly every source.
+func tieGraph(t *testing.T, rng *rand.Rand, n int, p float64) *Graph {
+	t.Helper()
+	etas := []float64{0.25, 0.5, 0.5, 1.0} // repeats skew toward ties
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeName(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(nodeName(i), nodeName(j), etas[rng.Intn(len(etas))]); err != nil {
+					t.Fatalf("AddEdge: %v", err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}
+
+// TestDijkstraScratchMatchesBaseline pins the scratch replica against the
+// map-packed heap baseline: bit-identical distances AND predecessors, on
+// tie-heavy graphs, from every source, under both cost metrics.
+func TestDijkstraScratchMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	costs := map[string]CostFunc{
+		"neglog":  NegLogEtaCost(0),
+		"inverse": InverseEtaCost(0),
+	}
+	var scratch DijkstraScratch
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(24)
+		g := tieGraph(t, rng, n, 0.3)
+		for name, cost := range costs {
+			for si := 0; si < n; si++ {
+				src := nodeName(si)
+				want, err := Dijkstra(g, src, cost)
+				if err != nil {
+					t.Fatalf("Dijkstra: %v", err)
+				}
+				scratch.run(g, si, cost, nil, -1, -1)
+				for i, id := range g.ids {
+					if scratch.dist[i] != want.Dist[id] && !(math.IsInf(scratch.dist[i], 1) && math.IsInf(want.Dist[id], 1)) {
+						t.Fatalf("trial %d cost %s src %s: dist[%s] = %v, baseline %v",
+							trial, name, src, id, scratch.dist[i], want.Dist[id])
+					}
+					var wantPrev string
+					if p := scratch.prev[i]; p >= 0 {
+						wantPrev = g.ids[p]
+					}
+					if wantPrev != want.Prev[id] {
+						t.Fatalf("trial %d cost %s src %s: prev[%s] = %q, baseline %q",
+							trial, name, src, id, wantPrev, want.Prev[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// refDisjointPaths is the clone-and-delete reference for DisjointScratch:
+// delete every incident edge of a consumed path's interior vertices (and
+// the direct src–dst edge when the path is a single hop), then re-run the
+// baseline Dijkstra. The oracletest protocol reference uses this same
+// procedure verbatim.
+func refDisjointPaths(t *testing.T, g *Graph, primary []string, k int) [][]string {
+	t.Helper()
+	work := g.Clone()
+	src, dst := primary[0], primary[len(primary)-1]
+	consume := func(path []string) {
+		for i := 1; i+1 < len(path); i++ {
+			for _, nb := range work.Neighbors(path[i]) {
+				work.RemoveEdge(path[i], nb)
+			}
+		}
+		if len(path) == 2 {
+			work.RemoveEdge(src, dst)
+		}
+	}
+	paths := [][]string{primary}
+	consume(primary)
+	for len(paths) < k {
+		res, err := Dijkstra(work, src, NegLogEtaCost(0))
+		if err != nil {
+			t.Fatalf("reference Dijkstra: %v", err)
+		}
+		path, err := res.PathTo(dst)
+		if err != nil {
+			break // unreachable in the residual graph: done
+		}
+		paths = append(paths, path)
+		consume(path)
+	}
+	return paths
+}
+
+// TestDisjointScratchMatchesReference pins blocked-flag extraction against
+// clone-and-delete extraction across random graphs, endpoints and budgets.
+func TestDisjointScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ds DisjointScratch
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(20)
+		g := tieGraph(t, rng, n, 0.35)
+		for pair := 0; pair < 5; pair++ {
+			src, dst := nodeName(rng.Intn(n)), nodeName(rng.Intn(n))
+			if src == dst {
+				continue
+			}
+			primary, _, err := BestTransmissivityPath(g, src, dst)
+			if err != nil {
+				continue // unreachable pair
+			}
+			k := 1 + rng.Intn(4)
+			want := refDisjointPaths(t, g, primary, k)
+			got, err := ds.Extract(g, primary, k)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s->%s k=%d: scratch %v, reference %v", trial, src, dst, k, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d reachable pairs exercised; generator too sparse", checked)
+	}
+}
+
+// TestDisjointScratchDirectEdge pins the single-hop alternative: when the
+// best disjoint alternative is the direct src–dst edge (no interior
+// vertices to block), extraction must consume that edge and terminate
+// rather than re-extracting it forever.
+func TestDisjointScratchDirectEdge(t *testing.T) {
+	g := NewGraph()
+	// Primary a-m-b (η product 0.81) beats direct a-b (0.5); the direct
+	// edge is the only disjoint alternative.
+	for _, e := range []struct {
+		a, b string
+		eta  float64
+	}{{"a", "m", 0.9}, {"m", "b", 0.9}, {"a", "b", 0.5}} {
+		if err := g.AddEdge(e.a, e.b, e.eta); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	primary := []string{"a", "m", "b"}
+	var ds DisjointScratch
+	got, err := ds.Extract(g, primary, 5)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	want := [][]string{{"a", "m", "b"}, {"a", "b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Extract = %v, want %v", got, want)
+	}
+}
+
+// TestDisjointScratchReuse verifies a reused scratch gives identical
+// results to a fresh one (state from earlier extractions must not leak).
+func TestDisjointScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := tieGraph(t, rng, 18, 0.4)
+	var reused DisjointScratch
+	type query struct {
+		primary []string
+		k       int
+	}
+	var queries []query
+	for i := 0; i < 12; i++ {
+		src, dst := nodeName(rng.Intn(18)), nodeName(rng.Intn(18))
+		if src == dst {
+			continue
+		}
+		if p, _, err := BestTransmissivityPath(g, src, dst); err == nil {
+			queries = append(queries, query{p, 1 + rng.Intn(4)})
+		}
+	}
+	for qi, q := range queries {
+		var fresh DisjointScratch
+		want, err := fresh.Extract(g, q.primary, q.k)
+		if err != nil {
+			t.Fatalf("fresh Extract: %v", err)
+		}
+		got, err := reused.Extract(g, q.primary, q.k)
+		if err != nil {
+			t.Fatalf("reused Extract: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: reused %v, fresh %v", qi, got, want)
+		}
+	}
+}
+
+// TestEdgeEtasIntoMatchesEdgeEtas pins the allocation-free variant against
+// the allocating one, including the reuse path.
+func TestEdgeEtasIntoMatchesEdgeEtas(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tieGraph(t, rng, 15, 0.4)
+	buf := make([]float64, 0, 8)
+	for i := 0; i < 20; i++ {
+		src, dst := nodeName(rng.Intn(15)), nodeName(rng.Intn(15))
+		if src == dst {
+			continue
+		}
+		path, _, err := BestTransmissivityPath(g, src, dst)
+		if err != nil {
+			continue
+		}
+		want, err := g.EdgeEtas(path)
+		if err != nil {
+			t.Fatalf("EdgeEtas: %v", err)
+		}
+		got, err := g.EdgeEtasInto(buf[:0], path)
+		if err != nil {
+			t.Fatalf("EdgeEtasInto: %v", err)
+		}
+		buf = got
+		if !reflect.DeepEqual(append([]float64(nil), got...), want) {
+			t.Fatalf("EdgeEtasInto = %v, EdgeEtas = %v", got, want)
+		}
+	}
+}

@@ -59,6 +59,18 @@ func FNV64a(id string) uint64 {
 	return h
 }
 
+// FNV64aBytes is FNV64a over a byte slice: identical output for identical
+// bytes, but callable with a reused buffer so per-request hashing on the
+// serving hot path (protocol pair keys) stays allocation-free.
+func FNV64aBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // TaskSeeds derives n distinct seeds from one base seed, one per task
 // index, in index order.
 func TaskSeeds(base int64, n int) []int64 {
